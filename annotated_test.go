@@ -1,0 +1,195 @@
+package intertubes_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAnnotatedMap(t *testing.T) {
+	s := study(t)
+	anns := s.AnnotatedMap()
+	if len(anns) != s.Map().Stats().Conduits {
+		t.Fatalf("annotations = %d, want one per tenanted conduit (%d)",
+			len(anns), s.Map().Stats().Conduits)
+	}
+	// Sorted by descending traffic.
+	for i := 1; i < len(anns); i++ {
+		ti := anns[i].ProbesWestEast + anns[i].ProbesEastWest
+		tj := anns[i-1].ProbesWestEast + anns[i-1].ProbesEastWest
+		if ti > tj {
+			t.Fatal("not sorted by traffic")
+		}
+	}
+	for _, ann := range anns[:20] {
+		if ann.DelayMs <= 0 || ann.LengthKm <= 0 {
+			t.Errorf("degenerate annotation %+v", ann)
+		}
+		// Delay follows length at fiber speed.
+		if ann.DelayMs > ann.LengthKm/200 || ann.DelayMs < ann.LengthKm/210 {
+			t.Errorf("delay %.3f ms inconsistent with %f km", ann.DelayMs, ann.LengthKm)
+		}
+		if ann.Sharing != len(ann.Tenants) {
+			t.Errorf("sharing %d != tenants %d", ann.Sharing, len(ann.Tenants))
+		}
+		for _, inf := range ann.InferredTenants {
+			for _, ten := range ann.Tenants {
+				if inf == ten {
+					t.Errorf("inferred tenant %s already published", inf)
+				}
+			}
+		}
+	}
+	// The busiest conduits carry real probe volume and betweenness.
+	if anns[0].ProbesWestEast+anns[0].ProbesEastWest == 0 {
+		t.Error("busiest conduit has no probes")
+	}
+}
+
+func TestAnnotatedGeoJSON(t *testing.T) {
+	s := study(t)
+	raw, err := s.AnnotatedGeoJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Type != "FeatureCollection" || len(doc.Features) == 0 {
+		t.Fatalf("doc = %s...", raw[:60])
+	}
+	props := doc.Features[0].Properties
+	for _, key := range []string{"a", "b", "lengthKm", "delayMs", "tenants", "sharing", "probesWestEast", "betweenness"} {
+		if _, ok := props[key]; !ok {
+			t.Errorf("missing property %q", key)
+		}
+	}
+	// Export to file.
+	path := filepath.Join(t.TempDir(), "annotated.geojson")
+	if err := s.ExportAnnotatedGeoJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() < 1000 {
+		t.Errorf("export too small: %v %v", fi, err)
+	}
+}
+
+func TestHighRiskHighTraffic(t *testing.T) {
+	s := study(t)
+	hot := s.HighRiskHighTraffic(40)
+	if len(hot) == 0 {
+		t.Fatal("no high-risk high-traffic conduits; the paper's core finding should reproduce")
+	}
+	anns := s.AnnotatedMap()
+	var avgSharing float64
+	for _, a := range anns {
+		avgSharing += float64(a.Sharing)
+	}
+	avgSharing /= float64(len(anns))
+	for _, h := range hot {
+		if float64(h.Sharing) < avgSharing {
+			t.Errorf("hot conduit %s-%s sharing %d below map average %.1f", h.A, h.B, h.Sharing, avgSharing)
+		}
+	}
+	// k larger than the map degrades gracefully.
+	if got := s.HighRiskHighTraffic(10 * len(anns)); len(got) != len(anns) {
+		t.Errorf("oversized k returned %d of %d", len(got), len(anns))
+	}
+}
+
+func TestRenderResilience(t *testing.T) {
+	s := study(t)
+	out := s.RenderResilience(5)
+	for _, marker := range []string{"criticality", "random cuts", "targeted (most shared)", "Minimum conduit cuts"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("missing %q", marker)
+		}
+	}
+	if out2 := s.RenderResilience(0); !strings.Contains(out2, "cutting 8 conduits") {
+		t.Error("k<=0 should default to 8")
+	}
+}
+
+func TestCutImpactFacade(t *testing.T) {
+	s := study(t)
+	impacts := s.CutImpact(6)
+	if len(impacts) != 20 {
+		t.Fatalf("impacts = %d", len(impacts))
+	}
+	anyHit := false
+	for _, im := range impacts {
+		if im.CutsHit > 6 {
+			t.Errorf("%s hit in %d > 6 cuts", im.ISP, im.CutsHit)
+		}
+		if im.CutsHit > 0 {
+			anyHit = true
+		}
+		if im.DisconnectedPairs < 0 || im.DisconnectedPairs > 1 {
+			t.Errorf("%s disconnection %v out of range", im.ISP, im.DisconnectedPairs)
+		}
+	}
+	if !anyHit {
+		t.Error("cutting the most-shared conduits hit nobody")
+	}
+}
+
+func TestPartitionCostsFacade(t *testing.T) {
+	s := study(t)
+	costs := s.PartitionCosts()
+	if len(costs) != 20 {
+		t.Fatalf("costs = %d", len(costs))
+	}
+}
+
+func TestCriticalityFacade(t *testing.T) {
+	s := study(t)
+	crit := s.Criticality(5)
+	if len(crit) != 5 {
+		t.Fatalf("criticality = %d", len(crit))
+	}
+}
+
+func TestTitleIIScenario(t *testing.T) {
+	s := study(t)
+	r := s.TitleIIScenario(3)
+	if len(r.Entrants) != 3 {
+		t.Fatalf("entrants = %v", r.Entrants)
+	}
+	// The paper's §6.2 claim: mandated access raises shared risk.
+	if r.ScenarioMeanSharing <= r.BaselineMeanSharing {
+		t.Errorf("mean sharing did not rise: %.2f -> %.2f",
+			r.BaselineMeanSharing, r.ScenarioMeanSharing)
+	}
+	if r.ScenarioTail < r.BaselineTail {
+		t.Errorf("mega-shared tail shrank: %d -> %d", r.BaselineTail, r.ScenarioTail)
+	}
+	if r.IncumbentMeanRise <= 0 {
+		t.Errorf("incumbent exposure did not rise: %v", r.IncumbentMeanRise)
+	}
+	// Entrants mostly ride existing tubes.
+	if r.NewConduits > 40 {
+		t.Errorf("entrants dug %d new conduits; mandated access should make that rare", r.NewConduits)
+	}
+	// n<=0 defaults to 3.
+	if d := s.TitleIIScenario(0); len(d.Entrants) != 3 {
+		t.Errorf("default entrants = %d", len(d.Entrants))
+	}
+}
+
+func TestRenderTitleII(t *testing.T) {
+	s := study(t)
+	out := s.RenderTitleII(2)
+	for _, marker := range []string{"Title II scenario", "mean conduit sharing", "new conduits dug"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("missing %q", marker)
+		}
+	}
+}

@@ -1,0 +1,450 @@
+package intertubes_test
+
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation as a benchmark, one per artifact (see DESIGN.md's
+// per-experiment index), plus ablations of the design choices called
+// out there. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks measure the cost of regenerating each artifact and
+// report its headline number as a custom metric where one exists.
+
+import (
+	"sync"
+	"testing"
+
+	"intertubes"
+	"intertubes/internal/geo"
+	"intertubes/internal/mapbuilder"
+	"intertubes/internal/mitigate"
+	"intertubes/internal/records"
+	"intertubes/internal/risk"
+	"intertubes/internal/traceroute"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *intertubes.Study
+	benchRes   *mapbuilder.Result
+	benchMx    *risk.Matrix
+)
+
+func sharedStudy() *intertubes.Study {
+	benchOnce.Do(func() {
+		benchStudy = intertubes.NewStudy(intertubes.Options{
+			Seed:            42,
+			Probes:          60000,
+			LatencyMaxPairs: 1500,
+			AddConduits:     5,
+		})
+		benchRes = benchStudy.Result()
+		benchMx = benchStudy.RiskMatrix()
+	})
+	return benchStudy
+}
+
+// BenchmarkTable1_InitialMap regenerates Table 1: the full §2
+// pipeline, reporting per-ISP node/link counts.
+func BenchmarkTable1_InitialMap(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s := intertubes.NewStudy(intertubes.Options{Seed: 42})
+		out = s.RenderTable1()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty artifact")
+	}
+}
+
+// BenchmarkFigure1_MapConstruction regenerates the Figure 1 map and
+// reports its headline statistics.
+func BenchmarkFigure1_MapConstruction(b *testing.B) {
+	var nodes, links, conduits int
+	for i := 0; i < b.N; i++ {
+		res := mapbuilder.Build(mapbuilder.Options{Seed: 42})
+		st := res.Map.Stats()
+		nodes, links, conduits = st.Nodes, st.Links, st.Conduits
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+	b.ReportMetric(float64(links), "links")
+	b.ReportMetric(float64(conduits), "conduits")
+}
+
+// BenchmarkFigure4_Colocation regenerates the §3 co-location analysis
+// (the ArcGIS-substitute overlap engine over every conduit).
+func BenchmarkFigure4_Colocation(b *testing.B) {
+	s := sharedStudy()
+	res := benchRes
+	var meanRoad float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := geo.NewOverlapAnalyzer(map[string][]geo.Polyline{
+			"road": res.Atlas.RoadPolylines(),
+			"rail": res.Atlas.RailPolylines(),
+		}, geo.OverlapOptions{BufferKm: 15})
+		var road float64
+		n := 0
+		for j := range res.Map.Conduits {
+			c := &res.Map.Conduits[j]
+			if len(c.Tenants) == 0 {
+				continue
+			}
+			road += an.Analyze(c.Path).Fractions["road"]
+			n++
+		}
+		meanRoad = road / float64(n)
+	}
+	_ = s
+	b.ReportMetric(meanRoad, "mean-road-frac")
+}
+
+// BenchmarkFigure6_SharingCounts regenerates Figure 6 from the risk
+// matrix.
+func BenchmarkFigure6_SharingCounts(b *testing.B) {
+	sharedStudy()
+	var ge2 int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mx := risk.Build(benchRes.Map, nil)
+		counts := mx.SharingCounts()
+		ge2 = counts[1]
+	}
+	b.ReportMetric(float64(ge2), "conduits-ge2")
+}
+
+// BenchmarkFigure7_ISPRanking regenerates Figure 7.
+func BenchmarkFigure7_ISPRanking(b *testing.B) {
+	sharedStudy()
+	var most float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := benchMx.Ranking()
+		most = r[len(r)-1].Mean
+	}
+	b.ReportMetric(most, "max-avg-sharing")
+}
+
+// BenchmarkFigure8_Hamming regenerates Figure 8's distance matrix.
+func BenchmarkFigure8_Hamming(b *testing.B) {
+	sharedStudy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := benchMx.Hamming()
+		if len(h) != 20 {
+			b.Fatal("wrong matrix size")
+		}
+	}
+}
+
+// BenchmarkFigure9_TrafficCDF regenerates Figure 9: a traceroute
+// campaign plus the sharing CDF shift.
+func BenchmarkFigure9_TrafficCDF(b *testing.B) {
+	sharedStudy()
+	var shift float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp := traceroute.Run(benchRes, traceroute.Options{N: 20000, Seed: 7})
+		pub, over := camp.SharingWithTraffic()
+		var sp, so int
+		for j := range pub {
+			sp += pub[j]
+			so += over[j]
+		}
+		shift = float64(so)/float64(len(over)) - float64(sp)/float64(len(pub))
+	}
+	b.ReportMetric(shift, "avg-tenant-shift")
+}
+
+// BenchmarkTable2_WestEast regenerates Table 2 from a fresh campaign.
+func BenchmarkTable2_WestEast(b *testing.B) {
+	sharedStudy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp := traceroute.Run(benchRes, traceroute.Options{N: 20000, Seed: 7})
+		if len(camp.TopConduits(20, true)) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable3_EastWest regenerates Table 3 (ranking only; the
+// campaign is shared with the study).
+func BenchmarkTable3_EastWest(b *testing.B) {
+	s := sharedStudy()
+	camp := s.Campaign()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(camp.TopConduits(20, false)) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable4_ISPConduits regenerates Table 4's provider ranking.
+func BenchmarkTable4_ISPConduits(b *testing.B) {
+	s := sharedStudy()
+	camp := s.Campaign()
+	var topConduits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := camp.TopISPs(10)
+		topConduits = rows[0].Conduits
+	}
+	b.ReportMetric(float64(topConduits), "top-isp-conduits")
+}
+
+// BenchmarkFigure10_Robustness regenerates Figure 10: the §5.1
+// framework over the most-shared conduits.
+func BenchmarkFigure10_Robustness(b *testing.B) {
+	s := sharedStudy()
+	targets := s.TargetConduits()
+	var avgPI float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := mitigate.RobustnessSuggestion(benchRes.Map, benchMx, targets, 3)
+		var sum float64
+		n := 0
+		for _, r := range rows {
+			if r.Evaluated > 0 {
+				sum += r.PI.Avg
+				n++
+			}
+		}
+		avgPI = sum / float64(n)
+	}
+	b.ReportMetric(avgPI, "avg-path-inflation")
+}
+
+// BenchmarkTable5_Peering regenerates Table 5 and reports how often
+// Level 3 is the suggested peer.
+func BenchmarkTable5_Peering(b *testing.B) {
+	s := sharedStudy()
+	targets := s.TargetConduits()
+	var level3 int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := mitigate.RobustnessSuggestion(benchRes.Map, benchMx, targets, 3)
+		level3 = 0
+		for _, r := range rows {
+			for _, p := range r.SuggestedPeers {
+				if p == "Level 3" {
+					level3++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(level3), "level3-suggestions")
+}
+
+// BenchmarkFigure11_AddLinks regenerates Figure 11's greedy sweep
+// (k=3 per iteration to keep the benchmark honest but affordable).
+func BenchmarkFigure11_AddLinks(b *testing.B) {
+	sharedStudy()
+	var added int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := mitigate.AddConduits(benchRes.Map, benchMx, mitigate.AddOptions{K: 3})
+		added = len(res.Additions)
+	}
+	b.ReportMetric(float64(added), "conduits-added")
+}
+
+// BenchmarkFigure12_Latency regenerates Figure 12's delay study.
+func BenchmarkFigure12_Latency(b *testing.B) {
+	sharedStudy()
+	var bestEqROW float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study := mitigate.LatencyStudy(benchRes.Map, benchRes.Atlas, mitigate.LatencyOptions{MaxPairs: 800})
+		bestEqROW = mitigate.Summarize(study).BestEqualsROW
+	}
+	b.ReportMetric(bestEqROW, "best-eq-row-frac")
+}
+
+// BenchmarkRecordsInference measures the §2 step-2/4 substrate: full
+// tenant inference over every conduit in the corpus.
+func BenchmarkRecordsInference(b *testing.B) {
+	sharedStudy()
+	inf := records.NewInference(benchRes.Index)
+	isps := mapbuilder.MappedNames()
+	refs := benchRes.Corpus.Refs()
+	var found int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found = 0
+		for _, ref := range refs {
+			found += len(inf.TenantsFor(ref, isps, 8))
+		}
+	}
+	b.ReportMetric(float64(found)/float64(len(refs)), "tenants-per-conduit")
+}
+
+// ---- Ablations (design choices called out in DESIGN.md). ----
+
+// BenchmarkAblationBufferWidth sweeps the Figure 4 co-location buffer.
+func BenchmarkAblationBufferWidth(b *testing.B) {
+	sharedStudy()
+	for _, buffer := range []float64{10, 20, 40} {
+		b.Run(formatKm(buffer), func(b *testing.B) {
+			var meanAny float64
+			for i := 0; i < b.N; i++ {
+				an := geo.NewOverlapAnalyzer(map[string][]geo.Polyline{
+					"road": benchRes.Atlas.RoadPolylines(),
+					"rail": benchRes.Atlas.RailPolylines(),
+				}, geo.OverlapOptions{BufferKm: buffer})
+				var any float64
+				n := 0
+				for j := range benchRes.Map.Conduits {
+					c := &benchRes.Map.Conduits[j]
+					if len(c.Tenants) == 0 {
+						continue
+					}
+					any += an.Analyze(c.Path).Any
+					n++
+				}
+				meanAny = any / float64(n)
+			}
+			b.ReportMetric(meanAny, "mean-colocated-frac")
+		})
+	}
+}
+
+func formatKm(v float64) string {
+	return "buffer-" + string(rune('0'+int(v)/10)) + string(rune('0'+int(v)%10)) + "km"
+}
+
+// BenchmarkAblationCampaignSize checks how quickly the Table 2 conduit
+// ranking stabilizes with campaign size.
+func BenchmarkAblationCampaignSize(b *testing.B) {
+	sharedStudy()
+	reference := traceroute.Run(benchRes, traceroute.Options{N: 100000, Seed: 7})
+	refTop := topSet(reference, 20)
+	for _, n := range []int{5000, 20000, 50000} {
+		name := map[int]string{5000: "n-5k", 20000: "n-20k", 50000: "n-50k"}[n]
+		b.Run(name, func(b *testing.B) {
+			var overlap float64
+			for i := 0; i < b.N; i++ {
+				camp := traceroute.Run(benchRes, traceroute.Options{N: n, Seed: 7})
+				got := topSet(camp, 20)
+				match := 0
+				for k := range got {
+					if refTop[k] {
+						match++
+					}
+				}
+				overlap = float64(match) / 20
+			}
+			b.ReportMetric(overlap, "top20-overlap-vs-100k")
+		})
+	}
+}
+
+func topSet(c *traceroute.Campaign, n int) map[string]bool {
+	out := make(map[string]bool, n)
+	for _, r := range c.TopConduits(n, true) {
+		out[r.A+"|"+r.B] = true
+	}
+	return out
+}
+
+// BenchmarkAblationAlignCandidates sweeps step 3's candidate-path
+// count and reports alignment accuracy against ground truth.
+func BenchmarkAblationAlignCandidates(b *testing.B) {
+	for _, k := range []int{1, 3, 5} {
+		name := map[int]string{1: "k-1", 3: "k-3", 5: "k-5"}[k]
+		b.Run(name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res := mapbuilder.Build(mapbuilder.Options{Seed: 42, AlignCandidates: k})
+				acc = res.Report.AlignmentAccuracy()
+			}
+			b.ReportMetric(acc, "alignment-accuracy")
+		})
+	}
+}
+
+// BenchmarkAblationRecordsNoise sweeps public-records corpus quality
+// and reports step-2 validation rate.
+func BenchmarkAblationRecordsNoise(b *testing.B) {
+	for _, cov := range []float64{0.5, 0.9, 1.0} {
+		name := map[float64]string{0.5: "coverage-50", 0.9: "coverage-90", 1.0: "coverage-100"}[cov]
+		b.Run(name, func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res := mapbuilder.Build(mapbuilder.Options{
+					Seed:    42,
+					Records: records.Options{Coverage: cov, TenantRecall: 0.9, Seed: 43},
+				})
+				rate = float64(res.Report.Step2Validated) / float64(res.Report.Step2Checked)
+			}
+			b.ReportMetric(rate, "step2-validation-rate")
+		})
+	}
+}
+
+// BenchmarkAblationOccupancyDiscount compares the sharing tail with
+// the shared-trench economics on and off.
+func BenchmarkAblationOccupancyDiscount(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "discount-on"
+		if disable {
+			name = "discount-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tail int
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res := mapbuilder.Build(mapbuilder.Options{Seed: 42, DisableOccupancyDiscount: disable})
+				mx := risk.Build(res.Map, nil)
+				tail = len(mx.SharedAtLeast(15))
+				mean = mx.MeanSharing()
+			}
+			b.ReportMetric(float64(tail), "conduits-ge15")
+			b.ReportMetric(mean, "mean-sharing")
+		})
+	}
+}
+
+// BenchmarkAblationGreedyVsExact compares the fast summed-SR candidate
+// scorer with the exact minimax scorer in the §5.2 optimizer.
+func BenchmarkAblationGreedyVsExact(b *testing.B) {
+	sharedStudy()
+	for _, exact := range []bool{false, true} {
+		name := "approx"
+		if exact {
+			name = "exact"
+		}
+		b.Run(name, func(b *testing.B) {
+			var meanImpr float64
+			for i := 0; i < b.N; i++ {
+				res := mitigate.AddConduits(benchRes.Map, benchMx, mitigate.AddOptions{K: 3, Exact: exact})
+				var sum float64
+				n := 0
+				for _, series := range res.Improvement {
+					sum += series[len(series)-1]
+					n++
+				}
+				meanImpr = sum / float64(n)
+			}
+			b.ReportMetric(meanImpr, "mean-improvement")
+		})
+	}
+}
+
+// BenchmarkLatencyImprovements measures the §5.3 constructive
+// analysis: proposing ROW-following builds.
+func BenchmarkLatencyImprovements(b *testing.B) {
+	sharedStudy()
+	study := mitigate.LatencyStudy(benchRes.Map, benchRes.Atlas, mitigate.LatencyOptions{MaxPairs: 800})
+	b.ResetTimer()
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		imps := mitigate.LatencyImprovements(benchRes.Map, benchRes.Atlas, study, 10, mitigate.LatencyOptions{})
+		saved = 0
+		for _, imp := range imps {
+			saved += imp.SavedMs
+		}
+	}
+	b.ReportMetric(saved, "total-ms-saved-top10")
+}

@@ -1,0 +1,85 @@
+// Command fibermapd serves the constructed long-haul fiber map and its
+// analyses over HTTP — the programmatic counterpart of the paper's
+// public data release. See internal/server for the endpoint list.
+//
+// Usage:
+//
+//	fibermapd [-addr :8080] [-seed 42] [-probes 100000]
+//
+// The server builds the full study at startup (a few seconds) and then
+// serves immutable results; SIGINT/SIGTERM drain connections
+// gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"intertubes"
+	"intertubes/internal/server"
+)
+
+func main() {
+	logger := log.New(os.Stderr, "fibermapd ", log.LstdFlags)
+	srv, err := setup(os.Args[1:], logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", srv.Addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		logger.Printf("received %s, draining...", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+}
+
+// setup parses flags, builds the study, and returns a configured but
+// not-yet-listening server.
+func setup(args []string, logger *log.Logger) (*http.Server, error) {
+	fs := flag.NewFlagSet("fibermapd", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", ":8080", "listen address")
+		seed   = fs.Int64("seed", 42, "study seed")
+		probes = fs.Int("probes", 100000, "traceroute campaign size")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	logger.Printf("building study (seed %d)...", *seed)
+	start := time.Now()
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes})
+	handler := server.New(study, logger)
+	logger.Printf("study ready in %s", time.Since(start).Round(time.Millisecond))
+
+	return &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}, nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSetup(t *testing.T) {
+	logger := log.New(io.Discard, "", 0)
+	srv, err := setup([]string{"-addr", ":9999", "-probes", "2000"}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr != ":9999" {
+		t.Errorf("addr = %q", srv.Addr)
+	}
+	// The wired handler serves without listening on a real port.
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz = %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestSetupBadFlags(t *testing.T) {
+	if _, err := setup([]string{"-bogus"}, log.New(io.Discard, "", 0)); err == nil {
+		t.Error("expected flag error")
+	}
+}

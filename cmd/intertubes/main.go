@@ -1,0 +1,82 @@
+// Command intertubes builds the US long-haul fiber map (§2 of the
+// paper) and reports its structure: Table 1, the Figure 1 summary, the
+// Figure 4 co-location analysis, GeoJSON exports of the map and the
+// road/rail/pipeline layers (Figures 1-3 as data), and the text
+// dataset.
+//
+// Usage:
+//
+//	intertubes [-seed N] [-all] [-table1] [-step3] [-fig4]
+//	           [-export DIR] [-dataset FILE]
+//
+// With no selection flags it prints the Figure 1 summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intertubes"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "intertubes:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("intertubes", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
+		all     = fs.Bool("all", false, "render every table and figure of the paper")
+		table1  = fs.Bool("table1", false, "render Table 1 (per-ISP nodes and links)")
+		step3   = fs.Bool("step3", false, "render the step-3 POP-only additions")
+		fig4    = fs.Bool("fig4", false, "render Figure 4 (transportation co-location)")
+		export  = fs.String("export", "", "write GeoJSON layers into this directory")
+		dataset = fs.String("dataset", "", "write the map dataset (text format) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed})
+
+	switch {
+	case *all:
+		fmt.Fprintln(out, study.RenderAll())
+	default:
+		printed := false
+		if *table1 {
+			fmt.Fprintln(out, study.RenderTable1())
+			printed = true
+		}
+		if *step3 {
+			fmt.Fprintln(out, study.RenderStep3())
+			printed = true
+		}
+		if *fig4 {
+			fmt.Fprintln(out, study.RenderFigure4())
+			printed = true
+		}
+		if !printed {
+			fmt.Fprintln(out, study.RenderFigure1())
+		}
+	}
+	if *export != "" {
+		if err := study.ExportGeoJSON(*export); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+		fmt.Fprintf(out, "wrote GeoJSON layers to %s\n", *export)
+	}
+	if *dataset != "" {
+		if err := study.ExportDataset(*dataset); err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		fmt.Fprintf(out, "wrote map dataset to %s\n", *dataset)
+	}
+	return nil
+}

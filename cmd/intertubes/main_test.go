@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Errorf("default output missing Figure 1:\n%s", out.String())
+	}
+}
+
+func TestRunSelections(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table1", "-step3", "-fig4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"Table 1", "Step 3", "Figure 4"} {
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("missing %q", marker)
+		}
+	}
+}
+
+func TestRunExports(t *testing.T) {
+	dir := t.TempDir()
+	dataset := filepath.Join(dir, "map.txt")
+	var out strings.Builder
+	if err := run([]string{"-export", dir, "-dataset", dataset}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fibermap.geojson", "roads.geojson"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+	if fi, err := os.Stat(dataset); err != nil || fi.Size() == 0 {
+		t.Errorf("dataset not written: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, &strings.Builder{}); err == nil {
+		t.Error("expected flag error")
+	}
+}

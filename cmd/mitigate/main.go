@@ -1,0 +1,57 @@
+// Command mitigate runs the §5 risk-mitigation analyses: the
+// robustness-suggestion framework over the most heavily shared
+// conduits (Figure 10, Table 5), the k-new-conduits sweep
+// (Figure 11), and the propagation-delay study with proposed
+// ROW-following builds (Figure 12).
+//
+// Usage:
+//
+//	mitigate [-seed N] [-k N] [-fig10] [-table5] [-fig11] [-fig12]
+//
+// With no selection flags it renders everything in §5 order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intertubes"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mitigate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mitigate", flag.ContinueOnError)
+	var (
+		seed   = fs.Int64("seed", 42, "study seed (deterministic)")
+		k      = fs.Int("k", 10, "number of new conduits for the Figure 11 sweep")
+		fig10  = fs.Bool("fig10", false, "Figure 10: path inflation and shared-risk reduction")
+		table5 = fs.Bool("table5", false, "Table 5: suggested peerings")
+		fig11  = fs.Bool("fig11", false, "Figure 11: improvement vs conduits added")
+		fig12  = fs.Bool("fig12", false, "Figure 12: latency CDFs and proposed ROW builds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, AddConduits: *k})
+
+	any := *fig10 || *table5 || *fig11 || *fig12
+	show := func(selected bool, render func() string) {
+		if selected || !any {
+			fmt.Fprintln(out, render())
+		}
+	}
+	show(*fig10, study.RenderFigure10)
+	show(*table5, study.RenderTable5)
+	show(*fig11, study.RenderFigure11)
+	show(*fig12, study.RenderFigure12)
+	return nil
+}

@@ -1,0 +1,39 @@
+// Command resilience runs the fiber-cut robustness analyses that the
+// paper motivates in §4 and defers to future work: conduit
+// criticality, targeted-vs-random cut impact, and per-provider
+// partition costs.
+//
+// Usage:
+//
+//	resilience [-seed N] [-k N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intertubes"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "resilience:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
+	var (
+		seed = fs.Int64("seed", 42, "study seed (deterministic)")
+		k    = fs.Int("k", 8, "number of conduits to cut in the strategy comparison")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed})
+	fmt.Fprintln(out, study.RenderResilience(*k))
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-k", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"criticality", "cutting 4 conduits", "Minimum conduit cuts"} {
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("missing %q", marker)
+		}
+	}
+}

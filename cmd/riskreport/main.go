@@ -1,0 +1,62 @@
+// Command riskreport runs the §4 shared-risk analyses: the risk
+// matrix metrics (Figures 6-8) and the traceroute-overlay results
+// (Figure 9, Tables 2-4).
+//
+// Usage:
+//
+//	riskreport [-seed N] [-probes N] [-fig6] [-fig7] [-fig8] [-fig9]
+//	           [-table2] [-table3] [-table4]
+//
+// With no selection flags it renders everything in §4 order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intertubes"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "riskreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("riskreport", flag.ContinueOnError)
+	var (
+		seed   = fs.Int64("seed", 42, "study seed (deterministic)")
+		probes = fs.Int("probes", 200000, "traceroute campaign size")
+		fig6   = fs.Bool("fig6", false, "Figure 6: conduits shared by >= k ISPs")
+		fig7   = fs.Bool("fig7", false, "Figure 7: per-ISP average sharing")
+		fig8   = fs.Bool("fig8", false, "Figure 8: Hamming-distance heat map")
+		fig9   = fs.Bool("fig9", false, "Figure 9: sharing CDF with traffic overlay")
+		table2 = fs.Bool("table2", false, "Table 2: top west-to-east conduits")
+		table3 = fs.Bool("table3", false, "Table 3: top east-to-west conduits")
+		table4 = fs.Bool("table4", false, "Table 4: top ISPs by conduits carrying probes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes})
+
+	any := *fig6 || *fig7 || *fig8 || *fig9 || *table2 || *table3 || *table4
+	show := func(selected bool, render func() string) {
+		if selected || !any {
+			fmt.Fprintln(out, render())
+		}
+	}
+	show(*fig6, study.RenderFigure6)
+	show(*fig7, study.RenderFigure7)
+	show(*fig8, study.RenderFigure8)
+	show(*fig9, study.RenderFigure9)
+	show(*table2, study.RenderTable2)
+	show(*table3, study.RenderTable3)
+	show(*table4, study.RenderTable4)
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAll(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-probes", "3000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Table 2", "Table 3", "Table 4"} {
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("missing %q", marker)
+		}
+	}
+}
+
+func TestRunSelection(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-probes", "3000", "-fig6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 6") {
+		t.Error("missing Figure 6")
+	}
+	if strings.Contains(out.String(), "Table 4") {
+		t.Error("unselected Table 4 rendered")
+	}
+}

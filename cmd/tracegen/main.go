@@ -1,0 +1,79 @@
+// Command tracegen runs the synthetic traceroute campaign of §4.3 and
+// prints sample traces plus overlay statistics. It is the equivalent
+// of the paper's Edgescope corpus plus the layer-3-to-conduit overlay.
+//
+// Usage:
+//
+//	tracegen [-seed N] [-n N] [-samples N] [-text]
+//
+// With -text the samples print in standard traceroute format (which
+// traceroute.ParseText reads back).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intertubes"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
+		n       = fs.Int("n", 100000, "number of traceroutes to synthesize")
+		samples = fs.Int("samples", 3, "raw traces to print")
+		asText  = fs.Bool("text", false, "print samples in parseable traceroute text format")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *n})
+	camp := study.Campaign()
+
+	fmt.Fprintf(out, "campaign: %d traceroutes with long-haul transit (of %d requested)\n",
+		camp.Total, *n)
+	fmt.Fprintf(out, "conduits observed carrying probes: %d\n", len(camp.ConduitProbes))
+	fmt.Fprintf(out, "unattributed segments: %d\n", camp.Unattributed)
+	fmt.Fprintf(out, "overlay attribution accuracy vs ground truth: %.1f%%\n\n",
+		100*camp.AttributionAccuracy())
+
+	atlasCities := study.Result().Atlas.Cities
+	for i, tr := range camp.Samples {
+		if i >= *samples {
+			break
+		}
+		if *asText {
+			fmt.Fprintln(out, camp.FormatText(tr))
+			continue
+		}
+		fmt.Fprintf(out, "traceroute %s -> %s (transit: %s", atlasCities[tr.SrcCity].Key(),
+			atlasCities[tr.DstCity].Key(), tr.ISP)
+		if tr.PeerISP != "" {
+			fmt.Fprintf(out, " then %s", tr.PeerISP)
+		}
+		if tr.MPLS {
+			fmt.Fprintf(out, ", MPLS tunnel")
+		}
+		fmt.Fprintln(out, ")")
+		for h, hop := range tr.Hops {
+			name := hop.Name
+			if name == "" {
+				name = "* (no rDNS)"
+			}
+			fmt.Fprintf(out, "  %2d  %-40s %6.2f ms\n", h+1, name, hop.RTTms)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

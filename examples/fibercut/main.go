@@ -1,0 +1,53 @@
+// Fibercut plays out the scenario behind the paper's risk metrics
+// (and its "backhoe: a real cyberthreat" citation): a small number of
+// conduits fail at once — a coordinated attack on the most-shared
+// trenches, or one regional disaster — and every provider in those
+// tubes goes down together. Who can still route?
+//
+// Usage:
+//
+//	fibercut [-cuts 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"intertubes"
+	"intertubes/internal/resilience"
+)
+
+func main() {
+	cuts := flag.Int("cuts", 6, "number of most-shared conduits to cut")
+	flag.Parse()
+
+	study := intertubes.NewStudy(intertubes.Options{Seed: 42})
+	m := study.Map()
+	mx := study.RiskMatrix()
+
+	targets := resilience.TargetedBySharing(mx, *cuts)
+	fmt.Printf("cutting the %d most-shared conduits:\n", *cuts)
+	for _, cid := range targets {
+		c := m.Conduit(cid)
+		fmt.Printf("  %-20s - %-20s (%d tenants lose this tube)\n",
+			m.Node(c.A).Key(), m.Node(c.B).Key(), mx.Sharing(cid))
+	}
+
+	fmt.Println("\nper-provider impact (fraction of its city pairs disconnected):")
+	impacts := resilience.CutImpact(m, mx, targets)
+	for _, im := range impacts {
+		bar := ""
+		for i := 0; i < int(im.DisconnectedPairs*40); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-18s hit in %2d conduits  %5.1f%% pairs lost  %s\n",
+			im.ISP, im.CutsHit, 100*im.DisconnectedPairs, bar)
+	}
+
+	random := resilience.RandomCuts(m, mx, *cuts, 10, 99)
+	fmt.Printf("\nmean disconnection: %.4f targeted vs %.4f for random cuts (%.1fx)\n",
+		resilience.MeanDisconnection(impacts), random,
+		resilience.MeanDisconnection(impacts)/random)
+	fmt.Println("\nThe same conduits appear in the paper's Figure 6 tail: conduit sharing")
+	fmt.Println("concentrates failure impact exactly where the traffic is.")
+}

@@ -1,0 +1,25 @@
+// Quickstart: build the US long-haul fiber map and print the headline
+// numbers of the paper — the map structure (Figure 1) and the conduit
+// sharing distribution (Figure 6).
+package main
+
+import (
+	"fmt"
+
+	"intertubes"
+)
+
+func main() {
+	// A Study is deterministic in its seed; 42 reproduces the numbers
+	// in EXPERIMENTS.md.
+	study := intertubes.NewStudy(intertubes.Options{Seed: 42})
+
+	fmt.Println(study.RenderFigure1())
+	fmt.Println(study.RenderFigure6())
+
+	// The underlying data is available as well.
+	stats := study.Map().Stats()
+	fmt.Printf("The paper's map: 273 nodes, 2411 links, 542 conduits.\n")
+	fmt.Printf("This build:      %d nodes, %d links, %d conduits.\n",
+		stats.Nodes, stats.Links, stats.Conduits)
+}

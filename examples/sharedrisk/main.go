@@ -1,0 +1,114 @@
+// Sharedrisk audits one provider's shared-risk exposure, the §4
+// workflow a network planner would run before a capacity purchase:
+// where does my fiber sit, who shares my trenches, which of my routes
+// are choke points, and who should I peer with to de-risk them?
+//
+// Usage:
+//
+//	sharedrisk [-isp "Sprint"] [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"intertubes"
+	"intertubes/internal/fiber"
+)
+
+func main() {
+	isp := flag.String("isp", "Sprint", "provider to audit")
+	top := flag.Int("top", 10, "riskiest conduits to list")
+	flag.Parse()
+
+	study := intertubes.NewStudy(intertubes.Options{Seed: 42})
+	m := study.Map()
+	mx := study.RiskMatrix()
+
+	conduits := m.ConduitsOf(*isp)
+	if len(conduits) == 0 {
+		log.Fatalf("unknown or unmapped provider %q (try Sprint, Level 3, AT&T, ...)", *isp)
+	}
+
+	// Where does this ISP sit in the Figure 7 ranking?
+	ranking := mx.Ranking()
+	for pos, r := range ranking {
+		if r.ISP != *isp {
+			continue
+		}
+		fmt.Printf("%s: %d conduits, average sharing %.2f (rank %d of %d, 1 = least exposed)\n",
+			r.ISP, r.Conduits, r.Mean, pos+1, len(ranking))
+		fmt.Printf("%d of its %d conduits are shared with at least one other provider\n\n",
+			r.SharedConduits, r.Conduits)
+	}
+
+	// Its riskiest conduits.
+	sort.Slice(conduits, func(i, j int) bool {
+		si, sj := mx.Sharing(conduits[i]), mx.Sharing(conduits[j])
+		if si != sj {
+			return si > sj
+		}
+		return conduits[i] < conduits[j]
+	})
+	fmt.Printf("top %d riskiest conduits in %s's footprint:\n", *top, *isp)
+	for i, cid := range conduits {
+		if i >= *top {
+			break
+		}
+		c := m.Conduit(cid)
+		fmt.Printf("  %-22s %-22s %4.0f km  shared by %2d ISPs\n",
+			m.Node(c.A).Key(), m.Node(c.B).Key(), c.LengthKm, mx.Sharing(cid))
+	}
+
+	// The most similar risk profile (Figure 8's reading).
+	h := mx.Hamming()
+	self := -1
+	for i, name := range mx.ISPs {
+		if name == *isp {
+			self = i
+		}
+	}
+	if self >= 0 {
+		best, bestD := -1, 1<<30
+		for j := range mx.ISPs {
+			if j != self && h[self][j] < bestD {
+				best, bestD = j, h[self][j]
+			}
+		}
+		fmt.Printf("\nmost similar risk profile: %s (Hamming distance %d)\n", mx.ISPs[best], bestD)
+	}
+
+	// What the §5.1 framework suggests.
+	for _, r := range study.Robustness() {
+		if r.ISP == *isp && r.Evaluated > 0 {
+			fmt.Printf("re-routing its %d most-shared conduits costs %.1f extra hops on average\n",
+				r.Evaluated, r.PI.Avg)
+			fmt.Printf("and cuts worst-case sharing by %.1f; suggested peers: %v\n",
+				r.SRR.Avg, r.SuggestedPeers)
+		}
+	}
+
+	// Hidden co-tenants revealed by traffic (Figure 9's mechanism).
+	camp := study.Campaign()
+	hidden := map[string]int{}
+	for _, cid := range conduits {
+		for other := range camp.InferredTenants[fiber.ConduitID(cid)] {
+			if other != *isp && !m.Conduit(cid).HasTenant(other) {
+				hidden[other]++
+			}
+		}
+	}
+	if len(hidden) > 0 {
+		fmt.Printf("\nproviders observed via traceroute in %s's conduits but absent from published maps:\n", *isp)
+		names := make([]string, 0, len(hidden))
+		for n := range hidden {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return hidden[names[i]] > hidden[names[j]] })
+		for _, n := range names {
+			fmt.Printf("  %-18s on %d conduits\n", n, hidden[n])
+		}
+	}
+}

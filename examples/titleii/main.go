@@ -1,0 +1,35 @@
+// Titleii runs the paper's §6.2 policy question as an experiment: if
+// Title II reclassification lets new entrants pull fiber through the
+// incumbents' conduits (the paper cites Google's fiber build-out),
+// how much does national shared risk rise per entrant?
+//
+// Usage:
+//
+//	titleii [-max 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"intertubes"
+)
+
+func main() {
+	max := flag.Int("max", 4, "sweep entrants from 1 to this count")
+	flag.Parse()
+
+	study := intertubes.NewStudy(intertubes.Options{Seed: 42})
+
+	fmt.Println("Title II entry sweep (each row rebuilds the map with k entrants):")
+	fmt.Printf("%-10s %-22s %-22s %s\n", "entrants", "mean sharing", "conduits >=15 shared", "incumbent rise")
+	base := study.RiskMatrix().MeanSharing()
+	fmt.Printf("%-10d %-22.2f %-22d %s\n", 0, base, len(study.RiskMatrix().SharedAtLeast(15)), "-")
+	for k := 1; k <= *max; k++ {
+		r := study.TitleIIScenario(k)
+		fmt.Printf("%-10d %-22.2f %-22d +%.2f\n",
+			k, r.ScenarioMeanSharing, r.ScenarioTail, r.IncumbentMeanRise)
+	}
+	fmt.Println()
+	fmt.Println(study.RenderTitleII(3))
+}

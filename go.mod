@@ -1,0 +1,3 @@
+module intertubes
+
+go 1.22

@@ -1,0 +1,440 @@
+package atlas
+
+// corridorsData lists the transportation corridors of the synthetic
+// National Atlas: CityA,ST|CityB,ST|row|route, one per line.
+//
+// row is the right-of-way class available in the corridor:
+//
+//	road     - highway only
+//	rail     - railway only
+//	both     - highway and railway share the corridor
+//	pipeline - petroleum/NGL pipeline right-of-way (no road/rail);
+//	           these model the paper's Figure 5 / §3 examples
+//	           (Anaheim-Las Vegas, the Houston-Atlanta NGL route
+//	           through Laurel, MS)
+//
+// Routes follow real alignments (I-80 over Donner, the UP Overland
+// Route through Wells NV, the NEC, the BNSF Transcon, …) so that the
+// long-haul chokepoints the paper highlights — Salt Lake City-Denver,
+// Phoenix-Tucson, Philadelphia-New York — emerge at the same places.
+const corridorsData = `
+Seattle,WA|Tacoma,WA|both|I-5/BNSF
+Tacoma,WA|Olympia,WA|road|I-5
+Olympia,WA|Portland,OR|both|I-5/BNSF
+Seattle,WA|Ellensburg,WA|both|I-90/BNSF
+Ellensburg,WA|Spokane,WA|both|I-90/BNSF
+Spokane,WA|Lewiston,ID|road|US-195
+Lewiston,ID|Boise,ID|road|US-95
+Seattle,WA|Yakima,WA|road|I-90/I-82
+Yakima,WA|Portland,OR|road|I-84/US-97
+Portland,OR|Hillsboro,OR|road|US-26
+Portland,OR|Salem,OR|both|I-5/UP
+Salem,OR|Eugene,OR|both|I-5/UP
+Eugene,OR|Medford,OR|both|I-5/CORP
+Medford,OR|Redding,CA|both|I-5/UP
+Portland,OR|Bend,OR|road|US-26/US-97
+Bend,OR|Burns,OR|road|US-20
+Burns,OR|Boise,ID|road|US-20
+Redding,CA|Chico,CA|both|I-5/UP
+Chico,CA|Sacramento,CA|both|CA-99/UP
+Sacramento,CA|San Francisco,CA|both|I-80/CC
+Sacramento,CA|Stockton,CA|both|CA-99/UP
+San Francisco,CA|Oakland,CA|both|I-80
+Oakland,CA|Sacramento,CA|both|I-80/UP
+San Francisco,CA|Palo Alto,CA|both|US-101/Caltrain
+Palo Alto,CA|San Jose,CA|both|US-101/Caltrain
+San Jose,CA|Santa Clara,CA|road|US-101
+Oakland,CA|San Jose,CA|both|I-880/UP
+San Jose,CA|Salinas,CA|both|US-101/UP
+Salinas,CA|San Luis Obispo,CA|both|US-101/UP
+San Luis Obispo,CA|Lompoc,CA|both|US-101/UP
+Lompoc,CA|Santa Barbara,CA|both|US-101/UP
+Santa Barbara,CA|Los Angeles,CA|both|US-101/UP
+Stockton,CA|Modesto,CA|both|CA-99/UP
+Modesto,CA|Fresno,CA|both|CA-99/UP
+Fresno,CA|Bakersfield,CA|both|CA-99/UP
+Bakersfield,CA|Los Angeles,CA|both|I-5/UP-Tehachapi
+Los Angeles,CA|Anaheim,CA|both|I-5/BNSF
+Anaheim,CA|Riverside,CA|road|CA-91
+Anaheim,CA|San Diego,CA|both|I-5/Surfline
+Riverside,CA|San Diego,CA|road|I-15
+Riverside,CA|Barstow,CA|both|I-15/BNSF
+Barstow,CA|Las Vegas,NV|road|I-15
+Anaheim,CA|Las Vegas,NV|pipeline|CalNev-products
+Barstow,CA|Needles,CA|both|I-40/BNSF-Transcon
+Needles,CA|Kingman,AZ|both|I-40/BNSF-Transcon
+Kingman,AZ|Flagstaff,AZ|both|I-40/BNSF-Transcon
+Kingman,AZ|Las Vegas,NV|road|US-93
+Flagstaff,AZ|Winslow,AZ|both|I-40/BNSF-Transcon
+Winslow,AZ|Gallup,NM|both|I-40/BNSF-Transcon
+Gallup,NM|Albuquerque,NM|both|I-40/BNSF-Transcon
+Flagstaff,AZ|Camp Verde,AZ|road|I-17
+Camp Verde,AZ|Sedona,AZ|road|AZ-179
+Sedona,AZ|Flagstaff,AZ|road|AZ-89A
+Camp Verde,AZ|Phoenix,AZ|road|I-17
+Phoenix,AZ|Tucson,AZ|both|I-10/UP-Sunset
+Tucson,AZ|Lordsburg,NM|both|I-10/UP-Sunset
+Lordsburg,NM|El Paso,TX|both|I-10/UP-Sunset
+Phoenix,AZ|Yuma,AZ|both|I-8/UP
+Yuma,AZ|San Diego,CA|both|I-8/SD&AE
+Sacramento,CA|Reno,NV|both|I-80/UP-Donner
+Reno,NV|Winnemucca,NV|both|I-80/UP-Overland
+Winnemucca,NV|Elko,NV|both|I-80/UP-Overland
+Elko,NV|Wells,NV|both|I-80/UP-Overland
+Wells,NV|Wendover,UT|both|I-80/UP-Overland
+Wendover,UT|Salt Lake City,UT|both|I-80/UP-Overland
+Wells,NV|Twin Falls,ID|road|US-93
+Reno,NV|Tonopah,NV|road|US-95
+Tonopah,NV|Las Vegas,NV|road|US-95
+Las Vegas,NV|St George,UT|road|I-15
+St George,UT|Beaver,UT|road|I-15
+Beaver,UT|Provo,UT|road|I-15
+Provo,UT|Salt Lake City,UT|both|I-15/UP
+Salt Lake City,UT|Ogden,UT|both|I-15/UP
+Ogden,UT|Pocatello,ID|both|I-15/UP
+Pocatello,ID|Idaho Falls,ID|both|I-15/UP
+Pocatello,ID|Twin Falls,ID|both|I-86/UP
+Twin Falls,ID|Boise,ID|both|I-84/UP
+Boise,ID|Pendleton,OR|both|I-84/UP
+Pendleton,OR|Portland,OR|both|I-84/UP
+Idaho Falls,ID|Butte,MT|both|I-15/UP
+Butte,MT|Helena,MT|both|I-15/MRL
+Helena,MT|Great Falls,MT|both|I-15/BNSF
+Butte,MT|Missoula,MT|both|I-90/MRL
+Missoula,MT|Spokane,WA|both|I-90/MRL
+Butte,MT|Bozeman,MT|both|I-90/MRL
+Bozeman,MT|Billings,MT|both|I-90/MRL
+Billings,MT|Sheridan,WY|road|I-90
+Sheridan,WY|Casper,WY|road|I-25
+Casper,WY|Cheyenne,WY|road|I-25
+Cheyenne,WY|Denver,CO|both|I-25/UP
+Cheyenne,WY|Laramie,WY|both|I-80/UP
+Laramie,WY|Rawlins,WY|both|I-80/UP
+Rawlins,WY|Rock Springs,WY|both|I-80/UP
+Rock Springs,WY|Salt Lake City,UT|both|I-80/UP
+Salt Lake City,UT|Provo,UT|rail|UTA-Provo-Sub
+Provo,UT|Green River,UT|both|US-6/UP-DRGW
+Green River,UT|Grand Junction,CO|both|I-70/UP-DRGW
+Grand Junction,CO|Denver,CO|both|I-70/UP-Moffat
+Great Falls,MT|Billings,MT|road|US-87
+Billings,MT|Miles City,MT|both|I-94/BNSF
+Miles City,MT|Bismarck,ND|both|I-94/BNSF
+Bismarck,ND|Fargo,ND|both|I-94/BNSF
+Fargo,ND|St Cloud,MN|both|I-94/BNSF
+St Cloud,MN|Minneapolis,MN|both|I-94/BNSF
+Fargo,ND|Grand Forks,ND|both|I-29/BNSF
+Billings,MT|Gillette,WY|road|I-90
+Gillette,WY|Rapid City,SD|road|I-90
+Rapid City,SD|Sioux Falls,SD|both|I-90/RCP&E
+Sioux Falls,SD|Omaha,NE|both|I-29/BNSF
+Sioux Falls,SD|Minneapolis,MN|road|I-90/I-35
+Minneapolis,MN|Duluth,MN|both|I-35/BNSF
+Minneapolis,MN|Eau Claire,WI|both|I-94/UP
+Eau Claire,WI|Madison,WI|road|I-94
+Madison,WI|Milwaukee,WI|both|I-94/CP
+Madison,WI|Rockford,IL|road|I-90
+Rockford,IL|Chicago,IL|both|I-90/UP
+Milwaukee,WI|Chicago,IL|both|I-94/CP
+Minneapolis,MN|Rochester,MN|road|US-52
+Rochester,MN|La Crosse,WI|road|I-90
+La Crosse,WI|Madison,WI|both|I-90/CP
+Green Bay,WI|Milwaukee,WI|both|I-43/CN
+Denver,CO|Fort Collins,CO|both|I-25/BNSF
+Fort Collins,CO|Cheyenne,WY|both|I-25/BNSF
+Denver,CO|Colorado Springs,CO|both|I-25/UP
+Colorado Springs,CO|Pueblo,CO|both|I-25/UP
+Pueblo,CO|Trinidad,CO|both|I-25/BNSF-Raton
+Trinidad,CO|Santa Fe,NM|both|I-25/BNSF-Raton
+Santa Fe,NM|Albuquerque,NM|both|I-25/BNSF
+Albuquerque,NM|Socorro,NM|both|I-25/BNSF
+Socorro,NM|Las Cruces,NM|both|I-25/BNSF
+Las Cruces,NM|El Paso,TX|both|I-25/UP
+Denver,CO|Limon,CO|both|I-70/UP-KP
+Limon,CO|Hays,KS|both|I-70/UP-KP
+Hays,KS|Salina,KS|both|I-70/UP-KP
+Salina,KS|Topeka,KS|both|I-70/UP
+Topeka,KS|Kansas City,MO|both|I-70/UP
+Cheyenne,WY|Sidney,NE|both|I-80/UP
+Sidney,NE|North Platte,NE|both|I-80/UP
+North Platte,NE|Grand Island,NE|both|I-80/UP
+Grand Island,NE|Lincoln,NE|both|I-80/UP
+Lincoln,NE|Omaha,NE|both|I-80/UP
+Omaha,NE|Des Moines,IA|both|I-80/UP
+Des Moines,IA|Davenport,IA|both|I-80/IAIS
+Davenport,IA|Chicago,IL|both|I-80/BNSF
+Topeka,KS|Lincoln,NE|road|US-75
+Kansas City,MO|Omaha,NE|road|I-29
+Kansas City,MO|St Louis,MO|both|I-70/UP
+Kansas City,MO|Columbia,MO|both|I-70/UP
+Columbia,MO|St Louis,MO|both|I-70/UP
+Kansas City,MO|Emporia,KS|both|I-35/BNSF
+Emporia,KS|Wichita,KS|both|I-35/BNSF
+Wichita,KS|Salina,KS|road|I-135
+Wichita,KS|Oklahoma City,OK|both|I-35/BNSF
+Oklahoma City,OK|Tulsa,OK|both|I-44/BNSF
+Tulsa,OK|Joplin,MO|road|I-44
+Joplin,MO|Springfield,MO|both|I-44/BNSF
+Springfield,MO|St Louis,MO|both|I-44/BNSF
+Oklahoma City,OK|Dallas,TX|both|I-35/BNSF
+Oklahoma City,OK|Amarillo,TX|both|I-40/BNSF
+Amarillo,TX|Tucumcari,NM|both|I-40/UP
+Tucumcari,NM|Albuquerque,NM|both|I-40/BNSF
+Amarillo,TX|Wichita Falls,TX|road|US-287
+Wichita Falls,TX|Dallas,TX|road|US-287
+Amarillo,TX|Lubbock,TX|both|I-27/BNSF
+Lubbock,TX|Midland,TX|road|TX-349
+Midland,TX|Van Horn,TX|both|I-20/UP
+Van Horn,TX|El Paso,TX|both|I-10/UP
+Midland,TX|Abilene,TX|both|I-20/UP
+Abilene,TX|Fort Worth,TX|both|I-20/UP
+Dallas,TX|Fort Worth,TX|both|I-30/UP
+Dallas,TX|Waco,TX|both|I-35/UP
+Waco,TX|Austin,TX|both|I-35/UP
+Austin,TX|San Antonio,TX|both|I-35/UP
+San Antonio,TX|Houston,TX|both|I-10/UP
+San Antonio,TX|Laredo,TX|both|I-35/UP
+San Antonio,TX|Corpus Christi,TX|both|I-37/UP
+Waco,TX|Bryan,TX|road|TX-6
+Bryan,TX|Houston,TX|both|TX-6/UP
+Houston,TX|Beaumont,TX|both|I-10/UP
+Beaumont,TX|Lafayette,LA|both|I-10/UP
+Lafayette,LA|Baton Rouge,LA|both|I-10/UP
+Baton Rouge,LA|New Orleans,LA|both|I-10/KCS
+Houston,TX|Dallas,TX|both|I-45/UP
+Dallas,TX|Tyler,TX|road|I-20
+Tyler,TX|Shreveport,LA|both|I-20/UP
+Shreveport,LA|Monroe,LA|both|I-20/KCS
+Monroe,LA|Jackson,MS|both|I-20/KCS
+Jackson,MS|Meridian,MS|both|I-20/KCS
+Meridian,MS|Birmingham,AL|both|I-20/NS
+Birmingham,AL|Atlanta,GA|both|I-20/NS
+Meridian,MS|Laurel,MS|both|I-59/NS
+Laurel,MS|Hattiesburg,MS|both|I-59/NS
+Hattiesburg,MS|Gulfport,MS|road|US-49
+Hattiesburg,MS|New Orleans,LA|both|I-59/NS
+Baton Rouge,LA|Laurel,MS|pipeline|Dixie-NGL
+Laurel,MS|Montgomery,AL|pipeline|Dixie-NGL
+Montgomery,AL|Atlanta,GA|both|I-85/CSX
+Jackson,MS|Memphis,TN|both|I-55/CN
+Jackson,MS|New Orleans,LA|both|I-55/CN
+New Orleans,LA|Gulfport,MS|both|I-10/CSX
+Gulfport,MS|Mobile,AL|both|I-10/CSX
+Mobile,AL|Pensacola,FL|both|I-10/CSX
+Pensacola,FL|Tallahassee,FL|both|I-10/CSX
+Tallahassee,FL|Lake City,FL|both|I-10/CSX
+Lake City,FL|Jacksonville,FL|both|I-10/CSX
+Mobile,AL|Montgomery,AL|both|I-65/CSX
+Montgomery,AL|Birmingham,AL|both|I-65/CSX
+Birmingham,AL|Huntsville,AL|road|I-65
+Huntsville,AL|Nashville,TN|road|I-65
+Memphis,TN|Jackson,TN|both|I-40/NS
+Jackson,TN|Nashville,TN|both|I-40/CSX
+Nashville,TN|Cookeville,TN|both|I-40/NS
+Cookeville,TN|Knoxville,TN|both|I-40/NS
+Knoxville,TN|Asheville,NC|road|I-40
+Asheville,NC|Charlotte,NC|road|US-74
+Knoxville,TN|Chattanooga,TN|both|I-75/NS
+Chattanooga,TN|Atlanta,GA|both|I-75/CSX
+Nashville,TN|Chattanooga,TN|both|I-24/CSX
+Nashville,TN|Bowling Green,KY|both|I-65/CSX
+Bowling Green,KY|Louisville,KY|both|I-65/CSX
+Louisville,KY|Lexington,KY|road|I-64
+Lexington,KY|Cincinnati,OH|both|I-75/NS
+Louisville,KY|Indianapolis,IN|both|I-65/CSX
+Louisville,KY|St Louis,MO|road|I-64
+Memphis,TN|Little Rock,AR|both|I-40/UP
+Little Rock,AR|Fort Smith,AR|both|I-40/UP
+Fort Smith,AR|Tulsa,OK|road|I-40/US-64
+Little Rock,AR|Texarkana,TX|both|I-30/UP
+Texarkana,TX|Dallas,TX|both|I-30/UP
+Memphis,TN|St Louis,MO|both|I-55/UP
+St Louis,MO|Springfield,IL|both|I-55/UP
+Springfield,IL|Bloomington,IL|both|I-55/UP
+Bloomington,IL|Chicago,IL|both|I-55/UP
+Springfield,IL|Peoria,IL|road|I-155
+Peoria,IL|Bloomington,IL|road|I-74
+St Louis,MO|Effingham,IL|both|I-70/CSX
+Effingham,IL|Terre Haute,IN|both|I-70/CSX
+Terre Haute,IN|Indianapolis,IN|both|I-70/CSX
+Effingham,IL|Urbana,IL|both|I-57/CN
+Urbana,IL|Chicago,IL|both|I-57/CN
+Indianapolis,IN|Chicago,IL|both|I-65/CSX
+Indianapolis,IN|Cincinnati,OH|both|I-74/CSX
+Indianapolis,IN|Dayton,OH|both|I-70/NS
+Dayton,OH|Columbus,OH|both|I-70/NS
+Dayton,OH|Cincinnati,OH|both|I-75/CSX
+Indianapolis,IN|Fort Wayne,IN|road|I-69
+Fort Wayne,IN|Toledo,OH|both|US-24/NS
+Indianapolis,IN|Evansville,IN|road|I-69
+Evansville,IN|Nashville,TN|road|I-24/US-41
+Evansville,IN|St Louis,MO|road|I-64
+Chicago,IL|South Bend,IN|both|I-90/NS
+South Bend,IN|Kalamazoo,MI|both|I-94/Amtrak
+Kalamazoo,MI|Battle Creek,MI|both|I-94/Amtrak
+Battle Creek,MI|Lansing,MI|road|I-69
+Battle Creek,MI|Livonia,MI|both|I-94/NS
+Livonia,MI|Southfield,MI|road|I-96/I-696
+Southfield,MI|Detroit,MI|road|M-10
+Livonia,MI|Detroit,MI|road|I-96
+Lansing,MI|Livonia,MI|road|I-96
+Lansing,MI|Grand Rapids,MI|road|I-96
+Grand Rapids,MI|Kalamazoo,MI|road|US-131
+Detroit,MI|Toledo,OH|both|I-75/CN
+Detroit,MI|Flint,MI|both|I-75/CN
+Flint,MI|Lansing,MI|road|I-69
+Toledo,OH|Cleveland,OH|both|I-80-90/NS
+Cleveland,OH|Erie,PA|both|I-90/NS
+Erie,PA|Buffalo,NY|both|I-90/NS
+Buffalo,NY|Rochester,NY|both|I-90/CSX
+Rochester,NY|Syracuse,NY|both|I-90/CSX
+Syracuse,NY|Utica,NY|both|I-90/CSX
+Utica,NY|Albany,NY|both|I-90/CSX
+Albany,NY|Springfield,MA|both|I-90/CSX
+Springfield,MA|Worcester,MA|both|I-90/CSX
+Worcester,MA|Boston,MA|both|I-90/CSX
+Albany,NY|New York,NY|both|I-87/Hudson-Line
+Albany,NY|Burlington,VT|road|I-87/US-7
+Boston,MA|Manchester,NH|road|I-93
+Boston,MA|Portsmouth,NH|both|I-95/PanAm
+Portsmouth,NH|Portland,ME|both|I-95/PanAm
+Boston,MA|Providence,RI|both|I-95/NEC
+Providence,RI|New Haven,CT|both|I-95/NEC
+New Haven,CT|Hartford,CT|both|I-91/Amtrak
+Hartford,CT|Springfield,MA|both|I-91/Amtrak
+New Haven,CT|Stamford,CT|both|I-95/NEC
+Stamford,CT|White Plains,NY|road|I-287
+White Plains,NY|New York,NY|both|I-87/MetroNorth
+Stamford,CT|New York,NY|both|I-95/NEC
+New York,NY|Newark,NJ|both|NEC/NJTurnpike
+Newark,NJ|Edison,NJ|both|NEC/NJTurnpike
+Edison,NJ|Trenton,NJ|both|NEC/NJTurnpike
+Trenton,NJ|Philadelphia,PA|both|NEC/I-95
+Philadelphia,PA|Wilmington,DE|both|NEC/I-95
+Wilmington,DE|Baltimore,MD|both|NEC/I-95
+Baltimore,MD|Towson,MD|road|I-695
+Baltimore,MD|Washington,DC|both|NEC/I-95
+Washington,DC|Ashburn,VA|road|Dulles-Greenway
+Washington,DC|Richmond,VA|both|I-95/CSX-RFP
+Richmond,VA|Charlottesville,VA|road|I-64
+Charlottesville,VA|Lynchburg,VA|rail|NS-Piedmont
+Charlottesville,VA|Washington,DC|both|US-29/NS
+Lynchburg,VA|Roanoke,VA|both|US-460/NS
+Roanoke,VA|Charleston,WV|road|US-60/I-64
+Charleston,WV|Lexington,KY|road|I-64
+Charleston,WV|Columbus,OH|road|US-23/I-77
+Roanoke,VA|Bristol,TN|both|I-81/NS
+Bristol,TN|Knoxville,TN|both|I-81/NS
+Richmond,VA|Norfolk,VA|both|I-64/CSX
+Norfolk,VA|Raleigh,NC|road|US-64
+Richmond,VA|Rocky Mount,NC|both|I-95/CSX-A-Line
+Rocky Mount,NC|Fayetteville,NC|both|I-95/CSX-A-Line
+Fayetteville,NC|Florence,SC|both|I-95/CSX-A-Line
+Florence,SC|Columbia,SC|both|I-20/CSX
+Florence,SC|Savannah,GA|both|I-95/CSX
+Savannah,GA|Brunswick,GA|both|I-95/CSX
+Brunswick,GA|Jacksonville,FL|both|I-95/CSX
+Raleigh,NC|Rocky Mount,NC|road|US-64
+Raleigh,NC|Greensboro,NC|both|I-40/NS
+Greensboro,NC|Charlotte,NC|both|I-85/NS
+Greensboro,NC|Lynchburg,VA|both|US-29/NS-Piedmont
+Charlotte,NC|Columbia,SC|both|I-77/NS
+Columbia,SC|Augusta,GA|road|I-20
+Augusta,GA|Atlanta,GA|both|I-20/CSX
+Charlotte,NC|Greenville,SC|both|I-85/NS
+Greenville,SC|Atlanta,GA|both|I-85/NS
+Columbia,SC|Charleston,SC|both|I-26/NS
+Charleston,SC|Savannah,GA|both|US-17/CSX
+Atlanta,GA|Macon,GA|both|I-75/NS
+Macon,GA|Savannah,GA|both|I-16/NS
+Macon,GA|Valdosta,GA|both|I-75/NS
+Valdosta,GA|Gainesville,FL|both|I-75/CSX
+Gainesville,FL|Ocala,FL|both|I-75/CSX
+Ocala,FL|Tampa,FL|both|I-75/CSX
+Ocala,FL|Orlando,FL|road|FL-Turnpike
+Jacksonville,FL|Daytona Beach,FL|both|I-95/FEC
+Daytona Beach,FL|Orlando,FL|both|I-4/FEC
+Orlando,FL|Tampa,FL|both|I-4/CSX
+Orlando,FL|West Palm Beach,FL|road|FL-Turnpike
+Daytona Beach,FL|West Palm Beach,FL|rail|FEC-Mainline
+West Palm Beach,FL|Boca Raton,FL|both|I-95/FEC
+Boca Raton,FL|Fort Lauderdale,FL|both|I-95/FEC
+Fort Lauderdale,FL|Miami,FL|both|I-95/FEC
+Tampa,FL|Fort Myers,FL|both|I-75/SCFE
+Fort Myers,FL|Miami,FL|road|I-75-Alligator-Alley
+Jacksonville,FL|Gainesville,FL|road|FL-24/US-301
+Cleveland,OH|Youngstown,OH|both|I-76/NS
+Youngstown,OH|Pittsburgh,PA|both|I-76/NS
+Pittsburgh,PA|Harrisburg,PA|both|PA-Turnpike/NS
+Harrisburg,PA|Philadelphia,PA|both|PA-Turnpike/Amtrak
+Harrisburg,PA|Allentown,PA|road|I-78
+Allentown,PA|Philadelphia,PA|road|I-476
+Allentown,PA|Newark,NJ|both|I-78/NS
+Allentown,PA|Scranton,PA|road|I-476
+Scranton,PA|Binghamton,NY|both|I-81/DL
+Binghamton,NY|Syracuse,NY|both|I-81/NYSW
+Scranton,PA|New York,NY|road|I-80
+Binghamton,NY|Albany,NY|road|I-88
+Harrisburg,PA|Baltimore,MD|both|I-83/NS
+Pittsburgh,PA|Columbus,OH|road|I-70
+Columbus,OH|Cincinnati,OH|both|I-71/NS
+Columbus,OH|Cleveland,OH|both|I-71/CSX
+Cleveland,OH|Akron,OH|both|I-77/CSX
+Toledo,OH|Chicago,IL|both|I-80-90/NS
+Des Moines,IA|Minneapolis,MN|both|I-35/UP
+Des Moines,IA|Kansas City,MO|both|I-35/BNSF
+Davenport,IA|Cedar Rapids,IA|road|I-380
+Cedar Rapids,IA|Des Moines,IA|road|US-30/I-80
+Seattle,WA|Portland,OR|rail|BNSF-Seattle-Sub
+Spokane,WA|Yakima,WA|road|I-90/I-82
+Sacramento,CA|Reno,NV|road|US-50
+San Jose,CA|Fresno,CA|road|CA-152
+Riverside,CA|Phoenix,AZ|both|I-10/UP-Sunset
+Kingman,AZ|Wickenburg,AZ|road|US-93
+Wickenburg,AZ|Phoenix,AZ|road|US-93
+Denver,CO|North Platte,NE|road|I-76
+Amarillo,TX|Pueblo,CO|road|US-87
+Wichita,KS|Liberal,KS|road|US-54
+Liberal,KS|Amarillo,TX|road|US-54
+Tucumcari,NM|Lubbock,TX|road|US-84
+Abilene,TX|Wichita Falls,TX|road|US-277
+Houston,TX|Austin,TX|road|TX-71
+Austin,TX|Bryan,TX|road|TX-21
+Houston,TX|Lufkin,TX|road|US-59
+Lufkin,TX|Shreveport,LA|road|US-59
+Shreveport,LA|Texarkana,TX|both|US-71/KCS
+St Louis,MO|Davenport,IA|road|US-61
+Chicago,IL|Fort Wayne,IN|rail|NS-Chicago-Line
+Pittsburgh,PA|Erie,PA|road|I-79
+Pittsburgh,PA|Baltimore,MD|road|I-70/I-68
+Philadelphia,PA|New York,NY|road|NJ-Turnpike
+New York,NY|Albany,NY|rail|CSX-River-Line
+Hartford,CT|Worcester,MA|road|I-84/I-90
+Richmond,VA|Raleigh,NC|both|I-85/CSX-S-Line
+Memphis,TN|Tupelo,MS|both|I-22/BNSF
+Tupelo,MS|Birmingham,AL|both|I-22/BNSF
+Kansas City,MO|Tulsa,OK|road|US-169
+Minneapolis,MN|La Crosse,WI|rail|CP-River-Sub
+Boise,ID|Winnemucca,NV|road|US-95
+Bakersfield,CA|Barstow,CA|both|CA-58/BNSF
+Pueblo,CO|Dodge City,KS|road|US-50
+Dodge City,KS|Wichita,KS|road|US-400
+Springfield,MO|Memphis,TN|road|US-63
+Evansville,IN|Louisville,KY|road|I-64
+Columbus,OH|Toledo,OH|road|US-23
+Roanoke,VA|Greensboro,NC|road|US-220
+Charleston,WV|Pittsburgh,PA|road|I-79
+Cincinnati,OH|Louisville,KY|both|I-71/CSX
+Lexington,KY|Knoxville,TN|road|I-75
+Houston,TX|Corpus Christi,TX|road|US-77
+San Antonio,TX|Fort Stockton,TX|both|I-10/UP-Sunset
+Fort Stockton,TX|El Paso,TX|both|I-10/UP-Sunset
+Yakima,WA|Pendleton,OR|road|I-82
+Eau Claire,WI|Duluth,MN|road|US-53
+Scranton,PA|Harrisburg,PA|road|I-81
+Lynchburg,VA|Richmond,VA|road|US-460
+Birmingham,AL|Chattanooga,TN|road|I-59
+Salina,KS|Lincoln,NE|road|US-81
+Bozeman,MT|Idaho Falls,ID|road|US-20
+Peoria,IL|Davenport,IA|road|I-74
+Urbana,IL|Indianapolis,IN|road|I-74
+`

@@ -1,0 +1,146 @@
+package fiber
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"intertubes/internal/geo"
+)
+
+// encode.go serializes a Map to a line-oriented text format and back —
+// the equivalent of the dataset the paper released through the
+// PREDICT portal. The format is designed for diffing and longevity:
+//
+//	# comment
+//	node|City|ST|<lat>|<lon>|<population>|<atlasCity>
+//	conduit|<aKey>|<bKey>|<corridor>|<tenants,csv>|<hidden,csv>|<lat,lon;lat,lon;...>
+//
+// Node lines must precede the conduit lines that reference them.
+// Coordinates are written with five decimals (~1 m); lengths are
+// recomputed on load.
+
+const datasetHeader = "# intertubes long-haul fiber map v1"
+
+// WriteMap serializes the map.
+func WriteMap(w io.Writer, m *Map) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, datasetHeader)
+	fmt.Fprintf(bw, "# nodes=%d conduits=%d links=%d\n", len(m.Nodes), len(m.Conduits), m.LinkCount())
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		fmt.Fprintf(bw, "node|%s|%s|%.5f|%.5f|%d|%d\n",
+			n.City, n.State, n.Loc.Lat, n.Loc.Lon, n.Population, n.AtlasCity)
+	}
+	for i := range m.Conduits {
+		c := &m.Conduits[i]
+		var path strings.Builder
+		for j, p := range c.Path {
+			if j > 0 {
+				path.WriteByte(';')
+			}
+			fmt.Fprintf(&path, "%.5f,%.5f", p.Lat, p.Lon)
+		}
+		fmt.Fprintf(bw, "conduit|%s|%s|%d|%s|%s|%s\n",
+			m.Nodes[c.A].Key(), m.Nodes[c.B].Key(), c.Corridor,
+			strings.Join(c.Tenants, ","), strings.Join(c.Hidden, ","), path.String())
+	}
+	return bw.Flush()
+}
+
+// ReadMap parses a map written by WriteMap.
+func ReadMap(r io.Reader) (*Map, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<22) // conduit paths are long lines
+	m := NewMap()
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		switch fields[0] {
+		case "node":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("fiber: line %d: node wants 7 fields, got %d", lineNo, len(fields))
+			}
+			lat, err1 := strconv.ParseFloat(fields[3], 64)
+			lon, err2 := strconv.ParseFloat(fields[4], 64)
+			pop, err3 := strconv.Atoi(fields[5])
+			ac, err4 := strconv.Atoi(fields[6])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fmt.Errorf("fiber: line %d: malformed node numbers", lineNo)
+			}
+			loc := geo.Point{Lat: lat, Lon: lon}
+			if !loc.Valid() {
+				return nil, fmt.Errorf("fiber: line %d: invalid coordinates", lineNo)
+			}
+			m.AddNode(fields[1], fields[2], loc, pop, ac)
+		case "conduit":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("fiber: line %d: conduit wants 7 fields, got %d", lineNo, len(fields))
+			}
+			a, ok := m.NodeByKey(fields[1])
+			if !ok {
+				return nil, fmt.Errorf("fiber: line %d: unknown node %q", lineNo, fields[1])
+			}
+			b, ok := m.NodeByKey(fields[2])
+			if !ok {
+				return nil, fmt.Errorf("fiber: line %d: unknown node %q", lineNo, fields[2])
+			}
+			corridor, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("fiber: line %d: corridor: %v", lineNo, err)
+			}
+			path, err := parsePath(fields[6])
+			if err != nil {
+				return nil, fmt.Errorf("fiber: line %d: %v", lineNo, err)
+			}
+			cid := m.EnsureConduit(a, b, corridor, path)
+			for _, t := range splitCSV(fields[4]) {
+				m.AddTenant(cid, t)
+			}
+			for _, h := range splitCSV(fields[5]) {
+				m.AddHiddenTenant(cid, h)
+			}
+		default:
+			return nil, fmt.Errorf("fiber: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fiber: %w", err)
+	}
+	return m, nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func parsePath(s string) (geo.Polyline, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make(geo.Polyline, 0, len(parts))
+	for _, p := range parts {
+		comma := strings.IndexByte(p, ',')
+		if comma < 0 {
+			return nil, fmt.Errorf("bad path point %q", p)
+		}
+		lat, err1 := strconv.ParseFloat(p[:comma], 64)
+		lon, err2 := strconv.ParseFloat(p[comma+1:], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad path point %q", p)
+		}
+		out = append(out, geo.Point{Lat: lat, Lon: lon})
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package fiber
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m, _, conduits := testMap(t)
+	m.AddTenant(conduits[0], "Level 3")
+	m.AddTenant(conduits[0], "AT&T")
+	m.AddTenant(conduits[1], "Sprint")
+	m.AddHiddenTenant(conduits[0], "SoftLayer")
+
+	var buf bytes.Buffer
+	if err := WriteMap(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Nodes) != len(m.Nodes) {
+		t.Fatalf("nodes %d != %d", len(got.Nodes), len(m.Nodes))
+	}
+	if len(got.Conduits) != len(m.Conduits) {
+		t.Fatalf("conduits %d != %d", len(got.Conduits), len(m.Conduits))
+	}
+	for i := range m.Nodes {
+		a, b := &m.Nodes[i], &got.Nodes[i]
+		if a.Key() != b.Key() || a.Population != b.Population || a.AtlasCity != b.AtlasCity {
+			t.Errorf("node %d: %+v != %+v", i, a, b)
+		}
+		if a.Loc.DistanceKm(b.Loc) > 0.01 {
+			t.Errorf("node %d moved %.4f km", i, a.Loc.DistanceKm(b.Loc))
+		}
+	}
+	for i := range m.Conduits {
+		a, b := &m.Conduits[i], &got.Conduits[i]
+		if a.Corridor != b.Corridor || len(a.Tenants) != len(b.Tenants) || len(a.Hidden) != len(b.Hidden) {
+			t.Errorf("conduit %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Tenants {
+			if a.Tenants[j] != b.Tenants[j] {
+				t.Errorf("conduit %d tenant %d: %q != %q", i, j, a.Tenants[j], b.Tenants[j])
+			}
+		}
+		// Length is recomputed from the (rounded) path: within metres.
+		if diff := a.LengthKm - b.LengthKm; diff > 0.05 || diff < -0.05 {
+			t.Errorf("conduit %d length %.4f != %.4f", i, a.LengthKm, b.LengthKm)
+		}
+	}
+	if got.LinkCount() != m.LinkCount() {
+		t.Errorf("links %d != %d", got.LinkCount(), m.LinkCount())
+	}
+}
+
+func TestReadMapErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"bad record", "banana|x", "unknown record"},
+		{"short node", "node|A|ST|1", "7 fields"},
+		{"bad node numbers", "node|A|ST|x|0|1|0", "malformed node"},
+		{"bad coords", "node|A|ST|99|0|1|0", "invalid coordinates"},
+		{"short conduit", "conduit|a|b", "7 fields"},
+		{"unknown endpoint", "conduit|A,ST|B,ST|0|||", "unknown node"},
+		{"bad corridor", "node|A|ST|1|1|1|0\nnode|B|ST|2|2|1|0\nconduit|A,ST|B,ST|x|||", "corridor"},
+		{"bad path", "node|A|ST|1|1|1|0\nnode|B|ST|2|2|1|0\nconduit|A,ST|B,ST|0|||junk", "bad path point"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadMap(strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want contains %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestReadMapSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\nnode|A|ST|1|1|1|-1\n# trailing comment\n"
+	m, err := ReadMap(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Nodes) != 1 {
+		t.Errorf("nodes = %d", len(m.Nodes))
+	}
+}
+
+func TestWriteMapIsStable(t *testing.T) {
+	m, _, conduits := testMap(t)
+	m.AddTenant(conduits[0], "Level 3")
+	var a, b bytes.Buffer
+	if err := WriteMap(&a, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMap(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("serialization not deterministic")
+	}
+	if !strings.HasPrefix(a.String(), datasetHeader) {
+		t.Error("missing header")
+	}
+}

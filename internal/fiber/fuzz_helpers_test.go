@@ -1,0 +1,5 @@
+package fiber
+
+import "intertubes/internal/geo"
+
+func mustPoint(lat, lon float64) geo.Point { return geo.Point{Lat: lat, Lon: lon} }

@@ -1,0 +1,42 @@
+package fiber
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMap asserts the dataset parser never panics and that
+// anything it accepts re-serializes cleanly.
+func FuzzReadMap(f *testing.F) {
+	var seed bytes.Buffer
+	m, _, conduits := seedMap()
+	m.AddTenant(conduits[0], "Level 3")
+	_ = WriteMap(&seed, m)
+	f.Add(seed.String())
+	f.Add("node|A|ST|1|1|1|-1\n")
+	f.Add("conduit|A,ST|B,ST|0|||\n")
+	f.Add("# only a comment\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ReadMap(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteMap(&out, parsed); err != nil {
+			t.Fatalf("accepted map fails to serialize: %v", err)
+		}
+		if _, err := ReadMap(&out); err != nil {
+			t.Fatalf("round trip of accepted map fails: %v", err)
+		}
+	})
+}
+
+// seedMap builds the same fixture as testMap without needing a *testing.T.
+func seedMap() (*Map, []NodeID, []ConduitID) {
+	m := NewMap()
+	a := m.AddNode("Denver", "CO", mustPoint(39.74, -104.99), 715000, 1)
+	b := m.AddNode("Salt Lake City", "UT", mustPoint(40.76, -111.89), 200000, 2)
+	c1 := m.EnsureConduit(a, b, 0, nil)
+	return m, []NodeID{a, b}, []ConduitID{c1}
+}

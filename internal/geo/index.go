@@ -1,0 +1,149 @@
+package geo
+
+import "math"
+
+// GridIndex is a uniform lat/lon grid spatial index over polyline
+// segments. It answers "which polylines have a segment near this
+// point" queries in roughly constant time for the densities that occur
+// in continental-scale infrastructure maps.
+//
+// The zero value is not usable; construct with NewGridIndex.
+type GridIndex struct {
+	cellDeg  float64
+	segments []indexedSegment
+	cells    map[cellKey][]int32 // cell -> indices into segments
+}
+
+type indexedSegment struct {
+	id   int32
+	a, b Point
+}
+
+type cellKey struct{ row, col int32 }
+
+// NewGridIndex creates an index whose cells are approximately cellKm
+// wide at mid-latitudes. cellKm must be positive.
+func NewGridIndex(cellKm float64) *GridIndex {
+	if cellKm <= 0 {
+		panic("geo: NewGridIndex requires positive cell size")
+	}
+	return &GridIndex{
+		cellDeg: cellKm / 111.32,
+		cells:   make(map[cellKey][]int32),
+	}
+}
+
+func (g *GridIndex) key(p Point) cellKey {
+	return cellKey{
+		row: int32(math.Floor(p.Lat / g.cellDeg)),
+		col: int32(math.Floor(p.Lon / g.cellDeg)),
+	}
+}
+
+// InsertPolyline registers every segment of pl under the caller's id.
+// Ids need not be unique or contiguous; a polyline may be inserted in
+// several pieces under the same id.
+func (g *GridIndex) InsertPolyline(id int, pl Polyline) {
+	for i := 1; i < len(pl); i++ {
+		g.insertSegment(int32(id), pl[i-1], pl[i])
+	}
+}
+
+func (g *GridIndex) insertSegment(id int32, a, b Point) {
+	segIdx := int32(len(g.segments))
+	g.segments = append(g.segments, indexedSegment{id: id, a: a, b: b})
+	// Register the segment in every cell its bounding box touches.
+	minR := int32(math.Floor(math.Min(a.Lat, b.Lat) / g.cellDeg))
+	maxR := int32(math.Floor(math.Max(a.Lat, b.Lat) / g.cellDeg))
+	minC := int32(math.Floor(math.Min(a.Lon, b.Lon) / g.cellDeg))
+	maxC := int32(math.Floor(math.Max(a.Lon, b.Lon) / g.cellDeg))
+	for r := minR; r <= maxR; r++ {
+		for c := minC; c <= maxC; c++ {
+			k := cellKey{row: r, col: c}
+			g.cells[k] = append(g.cells[k], segIdx)
+		}
+	}
+}
+
+// SegmentCount returns the number of indexed segments.
+func (g *GridIndex) SegmentCount() int { return len(g.segments) }
+
+// AnyWithinKm reports whether any indexed segment passes within
+// radiusKm of p.
+func (g *GridIndex) AnyWithinKm(p Point, radiusKm float64) bool {
+	found := false
+	g.visitNear(p, radiusKm, func(seg indexedSegment) bool {
+		if PointSegmentDistanceKm(p, seg.a, seg.b) <= radiusKm {
+			found = true
+			return false // stop
+		}
+		return true
+	})
+	return found
+}
+
+// NearestKm returns the distance from p to the nearest indexed segment
+// found within radiusKm, and whether one was found.
+func (g *GridIndex) NearestKm(p Point, radiusKm float64) (float64, bool) {
+	best := math.Inf(1)
+	g.visitNear(p, radiusKm, func(seg indexedSegment) bool {
+		if d := PointSegmentDistanceKm(p, seg.a, seg.b); d < best {
+			best = d
+		}
+		return true
+	})
+	if best <= radiusKm {
+		return best, true
+	}
+	return 0, false
+}
+
+// IDsWithinKm returns the distinct polyline ids with a segment within
+// radiusKm of p.
+func (g *GridIndex) IDsWithinKm(p Point, radiusKm float64) []int {
+	seen := make(map[int32]struct{})
+	g.visitNear(p, radiusKm, func(seg indexedSegment) bool {
+		if _, ok := seen[seg.id]; ok {
+			return true
+		}
+		if PointSegmentDistanceKm(p, seg.a, seg.b) <= radiusKm {
+			seen[seg.id] = struct{}{}
+		}
+		return true
+	})
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, int(id))
+	}
+	return out
+}
+
+// visitNear calls fn for every candidate segment in cells overlapping
+// the radius around p, de-duplicated. fn returning false stops the
+// scan early.
+func (g *GridIndex) visitNear(p Point, radiusKm float64, fn func(indexedSegment) bool) {
+	cos := math.Cos(radians(p.Lat))
+	if cos < 0.1 {
+		cos = 0.1
+	}
+	dLat := radiusKm / 111.32
+	dLon := radiusKm / (111.32 * cos)
+	minR := int32(math.Floor((p.Lat - dLat) / g.cellDeg))
+	maxR := int32(math.Floor((p.Lat + dLat) / g.cellDeg))
+	minC := int32(math.Floor((p.Lon - dLon) / g.cellDeg))
+	maxC := int32(math.Floor((p.Lon + dLon) / g.cellDeg))
+	visited := make(map[int32]struct{})
+	for r := minR; r <= maxR; r++ {
+		for c := minC; c <= maxC; c++ {
+			for _, si := range g.cells[cellKey{row: r, col: c}] {
+				if _, ok := visited[si]; ok {
+					continue
+				}
+				visited[si] = struct{}{}
+				if !fn(g.segments[si]) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOverlapAnalyzerColocated(t *testing.T) {
+	road := Polyline{Point{40, -110}, Point{40, -100}}
+	rail := Polyline{Point{45, -110}, Point{45, -100}} // far away
+	a := NewOverlapAnalyzer(map[string][]Polyline{
+		"road": {road},
+		"rail": {rail},
+	}, OverlapOptions{BufferKm: 15, SampleStepKm: 10})
+
+	// A conduit hugging the road, offset ~5 km.
+	conduit := GreatCircle(Point{40.05, -110}, Point{40.05, -100}, 20)
+	res := a.Analyze(conduit)
+	if res.Fractions["road"] < 0.99 {
+		t.Errorf("road fraction = %v, want ~1", res.Fractions["road"])
+	}
+	if res.Fractions["rail"] > 0.01 {
+		t.Errorf("rail fraction = %v, want ~0", res.Fractions["rail"])
+	}
+	if res.Any < 0.99 || res.None > 0.01 {
+		t.Errorf("any=%v none=%v", res.Any, res.None)
+	}
+	if res.Samples == 0 {
+		t.Error("expected samples")
+	}
+}
+
+func TestOverlapAnalyzerPartial(t *testing.T) {
+	// Road covers only the western half of the conduit's extent.
+	road := Polyline{Point{40, -110}, Point{40, -105}}
+	a := NewOverlapAnalyzer(map[string][]Polyline{"road": {road}},
+		OverlapOptions{BufferKm: 15, SampleStepKm: 5})
+	conduit := GreatCircle(Point{40, -110}, Point{40, -100}, 40)
+	res := a.Analyze(conduit)
+	if res.Fractions["road"] < 0.40 || res.Fractions["road"] > 0.60 {
+		t.Errorf("partial fraction = %v, want ~0.5", res.Fractions["road"])
+	}
+	if math.Abs(res.Any+res.None-1) > 1e-9 {
+		t.Errorf("any+none = %v, want 1", res.Any+res.None)
+	}
+}
+
+func TestOverlapAnalyzerEmptyPolyline(t *testing.T) {
+	a := NewOverlapAnalyzer(map[string][]Polyline{"road": nil}, OverlapOptions{})
+	res := a.Analyze(nil)
+	if res.Samples != 0 || res.Fractions["road"] != 0 {
+		t.Errorf("empty polyline should yield zeroes, got %+v", res)
+	}
+}
+
+func TestOverlapOptionsDefaults(t *testing.T) {
+	o := OverlapOptions{}.withDefaults()
+	if o.BufferKm != 15 || o.SampleStepKm != 10 || o.IndexCellKm != 15 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o = OverlapOptions{BufferKm: 40}.withDefaults()
+	if o.IndexCellKm != 40 {
+		t.Errorf("IndexCellKm should follow BufferKm, got %v", o.IndexCellKm)
+	}
+}
+
+func TestOverlapLayersAccessor(t *testing.T) {
+	a := NewOverlapAnalyzer(map[string][]Polyline{"road": nil, "rail": nil}, OverlapOptions{})
+	if len(a.Layers()) != 2 {
+		t.Errorf("Layers() = %v", a.Layers())
+	}
+}

@@ -1,0 +1,120 @@
+package geo
+
+import "math"
+
+// Polyline is an ordered sequence of points describing a route on the
+// Earth's surface, e.g. a fiber conduit, a highway, or a rail line.
+type Polyline []Point
+
+// LengthKm returns the sum of great-circle segment lengths.
+func (pl Polyline) LengthKm() float64 {
+	var total float64
+	for i := 1; i < len(pl); i++ {
+		total += pl[i-1].DistanceKm(pl[i])
+	}
+	return total
+}
+
+// Bounds returns the bounding box of the polyline.
+func (pl Polyline) Bounds() Bounds {
+	b := EmptyBounds()
+	for _, p := range pl {
+		b = b.Add(p)
+	}
+	return b
+}
+
+// Reverse returns a copy of the polyline with point order reversed.
+func (pl Polyline) Reverse() Polyline {
+	out := make(Polyline, len(pl))
+	for i, p := range pl {
+		out[len(pl)-1-i] = p
+	}
+	return out
+}
+
+// Resample returns a polyline with points spaced at most stepKm apart
+// along each original segment, preserving the original vertices. A
+// non-positive step returns a copy of the input.
+func (pl Polyline) Resample(stepKm float64) Polyline {
+	if len(pl) == 0 {
+		return nil
+	}
+	if stepKm <= 0 {
+		out := make(Polyline, len(pl))
+		copy(out, pl)
+		return out
+	}
+	out := make(Polyline, 0, len(pl)*2)
+	out = append(out, pl[0])
+	for i := 1; i < len(pl); i++ {
+		a, b := pl[i-1], pl[i]
+		d := a.DistanceKm(b)
+		if d > stepKm {
+			n := int(math.Ceil(d / stepKm))
+			for j := 1; j < n; j++ {
+				out = append(out, Intermediate(a, b, float64(j)/float64(n)))
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// DistanceToKm returns the minimum distance from p to any segment of
+// the polyline. It returns +Inf for an empty polyline.
+func (pl Polyline) DistanceToKm(p Point) float64 {
+	if len(pl) == 0 {
+		return math.Inf(1)
+	}
+	if len(pl) == 1 {
+		return p.DistanceKm(pl[0])
+	}
+	best := math.Inf(1)
+	for i := 1; i < len(pl); i++ {
+		if d := PointSegmentDistanceKm(p, pl[i-1], pl[i]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// GreatCircle returns a polyline of n+1 points following the great
+// circle from a to b. n must be at least 1.
+func GreatCircle(a, b Point, n int) Polyline {
+	if n < 1 {
+		n = 1
+	}
+	out := make(Polyline, 0, n+1)
+	for i := 0; i <= n; i++ {
+		out = append(out, Intermediate(a, b, float64(i)/float64(n)))
+	}
+	return out
+}
+
+// PerpendicularOffset displaces each interior point of the polyline
+// sideways (90° from the local direction of travel) by offsetKm,
+// leaving the endpoints fixed. It is used to separate road, rail, and
+// conduit geometries that follow the same corridor so that co-location
+// analysis measures real distances rather than exact coincidence.
+func (pl Polyline) PerpendicularOffset(offsetKm float64) Polyline {
+	if len(pl) < 3 || offsetKm == 0 {
+		out := make(Polyline, len(pl))
+		copy(out, pl)
+		return out
+	}
+	out := make(Polyline, len(pl))
+	out[0] = pl[0]
+	out[len(pl)-1] = pl[len(pl)-1]
+	for i := 1; i < len(pl)-1; i++ {
+		brg := pl[i-1].BearingDeg(pl[i+1])
+		side := brg + 90
+		d := offsetKm
+		if d < 0 {
+			side = brg - 90
+			d = -d
+		}
+		out[i] = pl[i].Offset(side, d)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package geo
+
+// simplify.go implements Douglas-Peucker polyline simplification,
+// used to keep GeoJSON exports compact: conduit paths are sampled
+// every ~25 km for analysis, far denser than a map viewer needs.
+
+// Simplify returns a polyline visually equivalent to pl where no
+// removed point was farther than toleranceKm from the simplified
+// line. Endpoints are always preserved. A non-positive tolerance
+// returns a copy.
+func (pl Polyline) Simplify(toleranceKm float64) Polyline {
+	if len(pl) < 3 || toleranceKm <= 0 {
+		out := make(Polyline, len(pl))
+		copy(out, pl)
+		return out
+	}
+	keep := make([]bool, len(pl))
+	keep[0], keep[len(pl)-1] = true, true
+	simplifyRange(pl, 0, len(pl)-1, toleranceKm, keep)
+	out := make(Polyline, 0, len(pl))
+	for i, k := range keep {
+		if k {
+			out = append(out, pl[i])
+		}
+	}
+	return out
+}
+
+// simplifyRange marks points to keep between fixed endpoints lo and
+// hi (exclusive interior), recursing on the farthest outlier.
+func simplifyRange(pl Polyline, lo, hi int, tol float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	maxD, maxI := -1.0, -1
+	for i := lo + 1; i < hi; i++ {
+		if d := PointSegmentDistanceKm(pl[i], pl[lo], pl[hi]); d > maxD {
+			maxD, maxI = d, i
+		}
+	}
+	if maxD <= tol {
+		return // every interior point is close enough; drop them all
+	}
+	keep[maxI] = true
+	simplifyRange(pl, lo, maxI, tol, keep)
+	simplifyRange(pl, maxI, hi, tol, keep)
+}

@@ -1,0 +1,79 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyStraightLine(t *testing.T) {
+	// Points along a great circle collapse to the endpoints.
+	pl := GreatCircle(Point{40, -100}, Point{42, -90}, 50)
+	// Tolerance must absorb the projected-chord vs great-circle gap
+	// over ~900 km; 5 km does.
+	out := pl.Simplify(5.0)
+	if len(out) > 5 {
+		t.Errorf("straight line kept %d points", len(out))
+	}
+	if out[0] != pl[0] || out[len(out)-1] != pl[len(pl)-1] {
+		t.Error("endpoints must survive")
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	// An L-shaped route: the corner must survive any reasonable
+	// tolerance.
+	corner := Point{40, -100}
+	pl := GreatCircle(Point{35, -100}, corner, 10)
+	pl = append(pl, GreatCircle(corner, Point{40, -90}, 10)[1:]...)
+	out := pl.Simplify(5)
+	found := false
+	for _, p := range out {
+		if p.DistanceKm(corner) < 0.01 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("corner dropped: %v", out)
+	}
+}
+
+func TestSimplifyErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		// A wiggly route.
+		base := GreatCircle(Point{35, -110}, Point{42, -85}, 40)
+		pl := make(Polyline, len(base))
+		copy(pl, base)
+		for i := 1; i < len(pl)-1; i++ {
+			pl[i] = pl[i].Offset(rng.Float64()*360, rng.Float64()*12)
+		}
+		tol := 3 + rng.Float64()*15
+		out := pl.Simplify(tol)
+		// Every original point stays within tolerance of the
+		// simplified line (the Douglas-Peucker guarantee, with slack
+		// for spherical segment approximations).
+		for _, p := range pl {
+			if d := out.DistanceToKm(p); d > tol*1.05 {
+				t.Fatalf("trial %d: point %.1f km from simplified line (tol %.1f)", trial, d, tol)
+			}
+		}
+		if len(out) > len(pl) {
+			t.Fatal("simplify grew the polyline")
+		}
+	}
+}
+
+func TestSimplifyDegenerate(t *testing.T) {
+	if got := Polyline(nil).Simplify(1); len(got) != 0 {
+		t.Errorf("nil -> %v", got)
+	}
+	two := Polyline{{40, -100}, {41, -99}}
+	if got := two.Simplify(1); len(got) != 2 {
+		t.Errorf("two points -> %v", got)
+	}
+	// Non-positive tolerance copies.
+	pl := GreatCircle(Point{40, -100}, Point{42, -90}, 5)
+	if got := pl.Simplify(0); len(got) != len(pl) {
+		t.Errorf("tol=0 -> %d points, want %d", len(got), len(pl))
+	}
+}

@@ -1,0 +1,306 @@
+// Package graph provides the routing substrate: an undirected
+// multigraph with integer vertices, Dijkstra shortest paths under
+// caller-supplied edge weights, Yen's k-shortest loopless paths, and
+// connectivity utilities. It is deliberately small and allocation-
+// conscious: the mitigation analyses in §5 of the paper run many
+// thousands of shortest-path queries per experiment.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is an undirected edge between vertices U and V with a default
+// weight. Parallel edges and self-loops are permitted (the conduit
+// graph has parallel deployments, e.g. Kansas City–Denver).
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+type halfEdge struct {
+	to   int32
+	edge int32
+}
+
+// Graph is an undirected multigraph. The zero value is an empty graph
+// with no vertices; use New to pre-size.
+type Graph struct {
+	adj   [][]halfEdge
+	edges []Edge
+}
+
+// New returns a graph with n vertices (0..n-1) and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]halfEdge, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// AddVertex appends a vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts an undirected edge u-v with the given weight and
+// returns its edge id. It panics if either endpoint is out of range or
+// the weight is negative or NaN.
+func (g *Graph) AddEdge(u, v int, weight float64) int {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range [0,%d)", u, v, len(g.adj)))
+	}
+	if weight < 0 || math.IsNaN(weight) {
+		panic(fmt.Sprintf("graph: AddEdge weight %v must be non-negative", weight))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Weight: weight})
+	g.adj[u] = append(g.adj[u], halfEdge{to: int32(v), edge: int32(id)})
+	if u != v {
+		g.adj[v] = append(g.adj[v], halfEdge{to: int32(u), edge: int32(id)})
+	}
+	return id
+}
+
+// Degree returns the number of incident edge endpoints at v
+// (a self-loop counts once).
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors calls fn for every incident edge of v with the neighbor
+// vertex and edge id.
+func (g *Graph) Neighbors(v int, fn func(to, edgeID int)) {
+	for _, h := range g.adj[v] {
+		fn(int(h.to), int(h.edge))
+	}
+}
+
+// Path is a walk through the graph: Nodes has one more element than
+// Edges, and Edges[i] connects Nodes[i] to Nodes[i+1].
+type Path struct {
+	Nodes  []int
+	Edges  []int
+	Weight float64
+}
+
+// Hops returns the number of edges in the path.
+func (p Path) Hops() int { return len(p.Edges) }
+
+// Clone deep-copies the path.
+func (p Path) Clone() Path {
+	q := Path{
+		Nodes:  append([]int(nil), p.Nodes...),
+		Edges:  append([]int(nil), p.Edges...),
+		Weight: p.Weight,
+	}
+	return q
+}
+
+// WeightFunc maps an edge id to its traversal cost for one query.
+// Returning +Inf excludes the edge. A nil WeightFunc uses each edge's
+// default weight.
+type WeightFunc func(edgeID int) float64
+
+func (g *Graph) weightOf(wf WeightFunc, id int) float64 {
+	if wf == nil {
+		return g.edges[id].Weight
+	}
+	return wf(id)
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v    int32
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-weight path from src to dst under
+// wf, or ok=false if dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int, wf WeightFunc) (Path, bool) {
+	if src < 0 || src >= len(g.adj) || dst < 0 || dst >= len(g.adj) {
+		return Path{}, false
+	}
+	dist, parentEdge := g.dijkstra(src, dst, wf)
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	return g.tracePath(src, dst, dist, parentEdge), true
+}
+
+// ShortestDistances runs Dijkstra from src and returns the full
+// distance array (unreachable vertices get +Inf).
+func (g *Graph) ShortestDistances(src int, wf WeightFunc) []float64 {
+	dist, _ := g.dijkstra(src, -1, wf)
+	return dist
+}
+
+// dijkstra computes distances from src; if dst >= 0 it may stop once
+// dst is settled. parentEdge[v] is the edge id used to reach v
+// (-1 for src/unreached).
+func (g *Graph) dijkstra(src, dst int, wf WeightFunc) (dist []float64, parentEdge []int32) {
+	n := len(g.adj)
+	dist = make([]float64, n)
+	parentEdge = make([]int32, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parentEdge[i] = -1
+	}
+	dist[src] = 0
+	q := pq{{v: int32(src), dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		v := int(it.v)
+		if it.dist > dist[v] {
+			continue // stale entry
+		}
+		if v == dst {
+			return dist, parentEdge
+		}
+		for _, h := range g.adj[v] {
+			w := g.weightOf(wf, int(h.edge))
+			if math.IsInf(w, 1) {
+				continue
+			}
+			nd := it.dist + w
+			if nd < dist[h.to] {
+				dist[h.to] = nd
+				parentEdge[h.to] = h.edge
+				heap.Push(&q, pqItem{v: h.to, dist: nd})
+			}
+		}
+	}
+	return dist, parentEdge
+}
+
+func (g *Graph) tracePath(src, dst int, dist []float64, parentEdge []int32) Path {
+	var edges []int
+	v := dst
+	for v != src {
+		eid := int(parentEdge[v])
+		edges = append(edges, eid)
+		e := g.edges[eid]
+		if e.U == v {
+			v = e.V
+		} else {
+			v = e.U
+		}
+	}
+	// Reverse edges and build node list.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	nodes := make([]int, 0, len(edges)+1)
+	nodes = append(nodes, src)
+	cur := src
+	for _, eid := range edges {
+		e := g.edges[eid]
+		if e.U == cur {
+			cur = e.V
+		} else {
+			cur = e.U
+		}
+		nodes = append(nodes, cur)
+	}
+	return Path{Nodes: nodes, Edges: edges, Weight: dist[dst]}
+}
+
+// Components returns the connected components as vertex lists, in
+// ascending order of their smallest vertex.
+func (g *Graph) Components() [][]int {
+	n := len(g.adj)
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	var stack []int
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(out)
+		comp[s] = id
+		stack = append(stack[:0], s)
+		var members []int
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, v)
+			for _, h := range g.adj[v] {
+				if comp[h.to] == -1 {
+					comp[h.to] = id
+					stack = append(stack, int(h.to))
+				}
+			}
+		}
+		out = append(out, members)
+	}
+	return out
+}
+
+// Connected reports whether u and v are in the same component
+// (ignoring weights; +Inf default weights still connect).
+func (g *Graph) Connected(u, v int) bool {
+	if u == v {
+		return true
+	}
+	p, ok := g.ShortestPath(u, v, func(int) float64 { return 1 })
+	return ok && len(p.Edges) > 0
+}
+
+// MinimaxDistances computes, for every vertex, the minimum over all
+// paths from src of the maximum edge weight along the path (the
+// bottleneck shortest path). Unreachable vertices get +Inf. The §5
+// shared-risk analyses use it with per-conduit sharing degrees as
+// weights: the result is the best achievable worst-case sharing when
+// routing from src.
+func (g *Graph) MinimaxDistances(src int, wf WeightFunc) []float64 {
+	n := len(g.adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := pq{{v: int32(src), dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		v := int(it.v)
+		if it.dist > dist[v] {
+			continue
+		}
+		for _, h := range g.adj[v] {
+			w := g.weightOf(wf, int(h.edge))
+			if math.IsInf(w, 1) {
+				continue
+			}
+			nd := math.Max(it.dist, w)
+			if nd < dist[h.to] {
+				dist[h.to] = nd
+				heap.Push(&q, pqItem{v: h.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}

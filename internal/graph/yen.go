@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless minimum-weight paths from
+// src to dst under wf, in non-decreasing weight order, using Yen's
+// algorithm. Fewer than k paths are returned if the graph does not
+// contain that many distinct loopless paths.
+func (g *Graph) KShortestPaths(src, dst, k int, wf WeightFunc) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := g.ShortestPath(src, dst, wf)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	// Candidate set, kept sorted by weight. Small k keeps this cheap.
+	var candidates []Path
+
+	bannedEdges := make(map[int]bool)
+	bannedNodes := make(map[int]bool)
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Deviate at every spur node of the previous path.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spur := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootEdges := prev.Edges[:i]
+
+			clearMap(bannedEdges)
+			clearMap(bannedNodes)
+			// Ban edges that would recreate an already-found path with
+			// the same root.
+			for _, p := range paths {
+				if sameIntPrefix(p.Nodes, rootNodes) && len(p.Edges) > i {
+					bannedEdges[p.Edges[i]] = true
+				}
+			}
+			for _, p := range candidates {
+				if sameIntPrefix(p.Nodes, rootNodes) && len(p.Edges) > i {
+					bannedEdges[p.Edges[i]] = true
+				}
+			}
+			// Ban root nodes (except the spur) to keep paths loopless.
+			for _, v := range rootNodes[:len(rootNodes)-1] {
+				bannedNodes[v] = true
+			}
+
+			spurWF := func(eid int) float64 {
+				if bannedEdges[eid] {
+					return math.Inf(1)
+				}
+				e := g.edges[eid]
+				if bannedNodes[e.U] || bannedNodes[e.V] {
+					return math.Inf(1)
+				}
+				return g.weightOf(wf, eid)
+			}
+			spurPath, ok := g.ShortestPath(spur, dst, spurWF)
+			if !ok {
+				continue
+			}
+			total := joinPaths(g, rootNodes, rootEdges, spurPath, wf)
+			if pathKnown(paths, total) || pathKnown(candidates, total) {
+				continue
+			}
+			candidates = append(candidates, total)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool {
+			return candidates[a].Weight < candidates[b].Weight
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func clearMap(m map[int]bool) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func sameIntPrefix(full, prefix []int) bool {
+	if len(full) < len(prefix) {
+		return false
+	}
+	for i, v := range prefix {
+		if full[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func joinPaths(g *Graph, rootNodes, rootEdges []int, spur Path, wf WeightFunc) Path {
+	nodes := make([]int, 0, len(rootNodes)+len(spur.Nodes)-1)
+	nodes = append(nodes, rootNodes...)
+	nodes = append(nodes, spur.Nodes[1:]...)
+	edges := make([]int, 0, len(rootEdges)+len(spur.Edges))
+	edges = append(edges, rootEdges...)
+	edges = append(edges, spur.Edges...)
+	var w float64
+	for _, eid := range edges {
+		w += g.weightOf(wf, eid)
+	}
+	return Path{Nodes: nodes, Edges: edges, Weight: w}
+}
+
+func pathKnown(set []Path, p Path) bool {
+	for _, q := range set {
+		if equalIntSlices(q.Edges, p.Edges) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

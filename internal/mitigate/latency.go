@@ -1,0 +1,229 @@
+package mitigate
+
+import (
+	"math"
+	"sort"
+
+	"intertubes/internal/atlas"
+	"intertubes/internal/fiber"
+	"intertubes/internal/geo"
+	"intertubes/internal/graph"
+)
+
+// latency.go implements §5.3: propagation delays between major city
+// pairs, compared across four route classes — the best existing
+// physical conduit path, the average over existing physical paths,
+// the best path along any right-of-way (deployed or not), and the
+// line-of-sight lower bound.
+//
+// The right-of-way network is deliberately denser than the long-haul
+// corridor set: the paper's National Atlas road layer contains every
+// US and state highway, not just the corridors fiber follows. We model
+// that by augmenting the corridor graph with secondary-highway edges
+// between nearby city pairs (great-circle length times a road
+// circuity factor). That is what gives new ROW-following builds room
+// to beat today's fiber paths, and the line of sight remains the
+// floor under everything.
+
+// PairLatency is one city pair's row of Figure 12's CDFs. All delays
+// are one-way propagation in milliseconds.
+type PairLatency struct {
+	A, B   fiber.NodeID
+	BestMs float64 // lowest-delay existing conduit path
+	AvgMs  float64 // average over existing conduit paths
+	RowMs  float64 // best path along any right-of-way
+	LosMs  float64 // line of sight (great circle)
+}
+
+// LatencyOptions tunes the study.
+type LatencyOptions struct {
+	// MinPopulation restricts the study to city pairs at or above this
+	// population — the paper's long-haul definition uses 100,000
+	// (the default).
+	MinPopulation int
+	// KPaths is how many alternative existing paths contribute to the
+	// average (default 4).
+	KPaths int
+	// MaxStretch drops alternative paths longer than this multiple of
+	// the best (default 2.5); real traffic would never take them.
+	MaxStretch float64
+	// SecondaryKm is the maximum great-circle distance at which two
+	// cities are assumed to be joined by a secondary highway absent a
+	// mapped corridor (default 250 km).
+	SecondaryKm float64
+	// SecondaryCircuity inflates secondary-highway lengths over the
+	// great circle (default 1.15).
+	SecondaryCircuity float64
+	// MaxPairs caps the number of city pairs studied (0 = no cap);
+	// pairs are dropped deterministically by stride, not truncation.
+	MaxPairs int
+	// MaxLosKm restricts the study to pairs within this line-of-sight
+	// distance (default 900 km, matching the 1-4 ms delay range of the
+	// paper's Figure 12).
+	MaxLosKm float64
+}
+
+func (o LatencyOptions) withDefaults() LatencyOptions {
+	if o.MinPopulation == 0 {
+		o.MinPopulation = 100000
+	}
+	if o.KPaths == 0 {
+		o.KPaths = 4
+	}
+	if o.MaxStretch == 0 {
+		o.MaxStretch = 2.5
+	}
+	if o.SecondaryKm == 0 {
+		o.SecondaryKm = 250
+	}
+	if o.SecondaryCircuity == 0 {
+		o.SecondaryCircuity = 1.15
+	}
+	if o.MaxLosKm == 0 {
+		o.MaxLosKm = 900
+	}
+	return o
+}
+
+// rowGraph builds the full right-of-way graph over atlas cities:
+// every corridor plus implicit secondary highways between nearby
+// pairs.
+func rowGraph(a *atlas.Atlas, opts LatencyOptions) *graph.Graph {
+	g := a.Graph()
+	for i := range a.Cities {
+		for j := i + 1; j < len(a.Cities); j++ {
+			d := a.Cities[i].Loc.DistanceKm(a.Cities[j].Loc)
+			if d > opts.SecondaryKm {
+				continue
+			}
+			g.AddEdge(i, j, d*opts.SecondaryCircuity)
+		}
+	}
+	return g
+}
+
+// LatencyStudy computes PairLatency for every pair of map nodes whose
+// cities meet the population threshold and that are connected through
+// lit conduits. Pairs appear once (A < B).
+func LatencyStudy(m *fiber.Map, a *atlas.Atlas, opts LatencyOptions) []PairLatency {
+	opts = opts.withDefaults()
+	g := m.Graph()
+	rg := rowGraph(a, opts)
+
+	// Major-city nodes, ascending id.
+	var nodes []fiber.NodeID
+	for i := range m.Nodes {
+		if m.Nodes[i].Population >= opts.MinPopulation {
+			nodes = append(nodes, fiber.NodeID(i))
+		}
+	}
+	type pair struct{ a, b fiber.NodeID }
+	var pairs []pair
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			d := m.Node(nodes[i]).Loc.DistanceKm(m.Node(nodes[j]).Loc)
+			if d > opts.MaxLosKm {
+				continue
+			}
+			pairs = append(pairs, pair{a: nodes[i], b: nodes[j]})
+		}
+	}
+	if opts.MaxPairs > 0 && len(pairs) > opts.MaxPairs {
+		stride := (len(pairs) + opts.MaxPairs - 1) / opts.MaxPairs
+		var kept []pair
+		for i := 0; i < len(pairs); i += stride {
+			kept = append(kept, pairs[i])
+		}
+		pairs = kept
+	}
+
+	out := make([]PairLatency, 0, len(pairs))
+	for _, p := range pairs {
+		na, nb := m.Node(p.a), m.Node(p.b)
+		pl := PairLatency{A: p.a, B: p.b}
+		pl.LosMs = geo.FiberLatencyMs(na.Loc.DistanceKm(nb.Loc))
+
+		// Existing physical paths over lit conduits.
+		paths := g.KShortestPaths(int(p.a), int(p.b), opts.KPaths, m.LitWeight())
+		if len(paths) == 0 {
+			continue
+		}
+		best := paths[0].Weight
+		var sum float64
+		n := 0
+		for _, path := range paths {
+			if path.Weight > best*opts.MaxStretch {
+				break
+			}
+			sum += path.Weight
+			n++
+		}
+		pl.BestMs = geo.FiberLatencyMs(best)
+		pl.AvgMs = geo.FiberLatencyMs(sum / float64(n))
+
+		// Best right-of-way path over the augmented ROW graph.
+		if na.AtlasCity >= 0 && nb.AtlasCity >= 0 {
+			if rp, ok := rg.ShortestPath(na.AtlasCity, nb.AtlasCity, nil); ok {
+				pl.RowMs = geo.FiberLatencyMs(rp.Weight)
+			}
+		}
+		if pl.RowMs == 0 {
+			pl.RowMs = pl.BestMs
+		}
+		out = append(out, pl)
+	}
+	return out
+}
+
+// LatencySummary aggregates Figure 12's headline comparisons.
+type LatencySummary struct {
+	Pairs int
+	// BestEqualsROW is the fraction of pairs whose best existing path
+	// already achieves (within 2%) the best right-of-way delay — the
+	// paper reports about 65%.
+	BestEqualsROW float64
+	// LosGapP50/P75 are quantiles of (best-ROW minus line-of-sight) in
+	// ms (the paper: <0.1 ms for 50% of paths, >0.5 ms for 25%).
+	LosGapP50, LosGapP75 float64
+	// AvgToBest is the median ratio of average to best existing delay.
+	AvgToBest float64
+}
+
+// Summarize derives the headline numbers from a study.
+func Summarize(study []PairLatency) LatencySummary {
+	s := LatencySummary{Pairs: len(study)}
+	if len(study) == 0 {
+		return s
+	}
+	equal := 0
+	var gaps, ratios []float64
+	for _, pl := range study {
+		if pl.BestMs <= pl.RowMs*1.02 {
+			equal++
+		}
+		gaps = append(gaps, math.Max(0, pl.RowMs-pl.LosMs))
+		if pl.BestMs > 0 {
+			ratios = append(ratios, pl.AvgMs/pl.BestMs)
+		}
+	}
+	s.BestEqualsROW = float64(equal) / float64(len(study))
+	sort.Float64s(gaps)
+	sort.Float64s(ratios)
+	s.LosGapP50 = gaps[len(gaps)/2]
+	s.LosGapP75 = gaps[len(gaps)*3/4]
+	if len(ratios) > 0 {
+		s.AvgToBest = ratios[len(ratios)/2]
+	}
+	return s
+}
+
+// CDF returns the sorted values of one latency class across the
+// study, for rendering Figure 12.
+func CDF(study []PairLatency, pick func(PairLatency) float64) []float64 {
+	out := make([]float64, 0, len(study))
+	for _, pl := range study {
+		out = append(out, pick(pl))
+	}
+	sort.Float64s(out)
+	return out
+}

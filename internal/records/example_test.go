@@ -1,0 +1,28 @@
+package records_test
+
+import (
+	"fmt"
+
+	"intertubes/internal/records"
+)
+
+func ExampleTokenize() {
+	fmt.Println(records.Tokenize("Los Angeles to San Francisco fiber IRU AT&T"))
+	// Output: [los angeles to san francisco fiber iru at t]
+}
+
+func ExampleInference_TenantsFor() {
+	truth := records.GroundTruth{Tenants: map[records.ConduitRef][]string{
+		records.NewConduitRef("Gainesville,FL", "Ocala,FL"): {"Cox", "Level 3"},
+	}}
+	corpus := records.Generate(truth, []string{"Cox", "Level 3", "Sprint"},
+		records.Options{Coverage: 1, TenantRecall: 1, Seed: 1})
+	inf := records.NewInference(records.BuildIndex(corpus))
+	for _, ev := range inf.TenantsFor(records.NewConduitRef("Gainesville,FL", "Ocala,FL"),
+		[]string{"Cox", "Level 3", "Sprint"}, 8) {
+		fmt.Println(ev.ISP)
+	}
+	// Output:
+	// Cox
+	// Level 3
+}

@@ -1,0 +1,23 @@
+package records
+
+import "testing"
+
+// FuzzTokenize asserts the tokenizer never panics and only emits
+// lowercase letter/digit runs.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Los Angeles to San Francisco fiber IRU AT&T")
+	f.Add("")
+	f.Add("\x00\xff日本語 mixed UTF-8 and bytes")
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, tok := range Tokenize(input) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					t.Fatalf("uppercase leaked into token %q", tok)
+				}
+			}
+		}
+	})
+}

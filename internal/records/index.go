@@ -1,0 +1,120 @@
+package records
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// index.go implements the search side of the paper's methodology: the
+// authors drove "a systematic search for government-related public
+// filings" with queries like "los angeles to san francisco fiber iru
+// at&t sprint". We index the corpus with a TF-IDF-weighted inverted
+// index and score queries by accumulated term weight.
+
+// Tokenize lowercases s and splits it into letter/digit runs.
+// Punctuation (including the '&' in AT&T) separates tokens, which is
+// what a person typing search terms effectively does too.
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+type posting struct {
+	doc int32
+	tf  float64
+}
+
+// Index is an inverted index over a Corpus.
+type Index struct {
+	corpus   *Corpus
+	postings map[string][]posting
+	docLen   []float64
+}
+
+// BuildIndex indexes every document's title and body.
+func BuildIndex(c *Corpus) *Index {
+	idx := &Index{
+		corpus:   c,
+		postings: make(map[string][]posting),
+		docLen:   make([]float64, len(c.Docs)),
+	}
+	for i, doc := range c.Docs {
+		counts := make(map[string]int)
+		toks := Tokenize(doc.Title + " " + doc.Body)
+		for _, t := range toks {
+			counts[t]++
+		}
+		idx.docLen[i] = float64(len(toks))
+		for t, n := range counts {
+			idx.postings[t] = append(idx.postings[t], posting{doc: int32(i), tf: float64(n)})
+		}
+	}
+	return idx
+}
+
+// Result is one search hit.
+type Result struct {
+	DocID int
+	Score float64
+}
+
+// Search scores documents against the query by TF-IDF sum and returns
+// the top k hits, best first. Ties break by document id for
+// determinism.
+func (idx *Index) Search(query string, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	nDocs := float64(len(idx.corpus.Docs))
+	scores := make(map[int32]float64)
+	seen := make(map[string]bool)
+	for _, t := range Tokenize(query) {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		ps := idx.postings[t]
+		if len(ps) == 0 {
+			continue
+		}
+		idf := math.Log(1 + nDocs/float64(len(ps)))
+		for _, p := range ps {
+			// Length-normalized TF.
+			scores[p.doc] += idf * p.tf / math.Sqrt(idx.docLen[p.doc])
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for doc, s := range scores {
+		out = append(out, Result{DocID: int(doc), Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Doc returns the indexed document by id.
+func (idx *Index) Doc(id int) Document { return idx.corpus.Docs[id] }

@@ -1,0 +1,274 @@
+// Package records is the public-records substrate of the InterTubes
+// reproduction. The paper's mapping methodology (§2, steps 2 and 4)
+// validates fiber link locations and infers conduit sharing from
+// government agency filings, IRU agreements, franchise agreements,
+// environmental impact statements, press releases, and settlement
+// notices. We cannot ship those proprietary-by-obscurity documents,
+// so this package (a) generates a synthetic corpus of such documents
+// from a ground-truth tenancy relation with configurable noise, (b)
+// provides a tokenized inverted-index search engine over the corpus,
+// and (c) implements the validate-and-infer procedure, whose precision
+// and recall against ground truth we can measure — something the paper
+// itself could not do.
+package records
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// DocType classifies a public record.
+type DocType int
+
+const (
+	// IRUAgreement is an indefeasible-right-of-use agreement between
+	// carriers (e.g. the Level 3/Comcast IRU the paper cites).
+	IRUAgreement DocType = iota
+	// ROWFiling is a state/municipal right-of-way filing.
+	ROWFiling
+	// FranchiseAgreement is a county cable franchise agreement.
+	FranchiseAgreement
+	// PressRelease is a carrier press release or news article.
+	PressRelease
+	// EnvironmentalImpact is an environmental impact statement with a
+	// utilities section.
+	EnvironmentalImpact
+	// SettlementNotice is a railroad-ROW class-action settlement
+	// notice (the paper's fiberopticsettlements.com source).
+	SettlementNotice
+)
+
+var docTypeNames = [...]string{
+	"IRU agreement",
+	"right-of-way filing",
+	"franchise agreement",
+	"press release",
+	"environmental impact statement",
+	"settlement notice",
+}
+
+// String names the document type.
+func (d DocType) String() string {
+	if int(d) < len(docTypeNames) {
+		return docTypeNames[d]
+	}
+	return fmt.Sprintf("DocType(%d)", int(d))
+}
+
+// Document is one public record.
+type Document struct {
+	ID    int
+	Type  DocType
+	Title string
+	Body  string
+}
+
+// Corpus is a set of public records plus the ground truth they were
+// generated from (kept for scoring; the inference path never reads
+// it).
+type Corpus struct {
+	Docs []Document
+	// truth maps a conduit key to the tenant set each document set was
+	// generated from.
+	truth map[string][]string
+}
+
+// ConduitRef identifies a conduit by its endpoint city keys, order-
+// normalized.
+type ConduitRef struct {
+	A, B string // "City,ST" keys, A < B
+}
+
+// NewConduitRef normalizes the endpoint order.
+func NewConduitRef(a, b string) ConduitRef {
+	if a > b {
+		a, b = b, a
+	}
+	return ConduitRef{A: a, B: b}
+}
+
+func (r ConduitRef) key() string { return r.A + "~" + r.B }
+
+// GroundTruth holds the real tenancy relation the corpus describes.
+type GroundTruth struct {
+	// Tenants maps each conduit to the ISPs that actually occupy it.
+	Tenants map[ConduitRef][]string
+}
+
+// Options tunes corpus generation noise.
+type Options struct {
+	// Coverage is the probability that a conduit generates any
+	// documents at all. Default 0.9 — public records are plentiful
+	// but not universal.
+	Coverage float64
+	// TenantRecall is the probability each true tenant is named in the
+	// conduit's documents. Default 0.9.
+	TenantRecall float64
+	// FalseTenantRate is the probability a document names one ISP that
+	// is NOT in the conduit (stale or erroneous filings). Default 0.04.
+	FalseTenantRate float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Coverage == 0 {
+		o.Coverage = 0.9
+	}
+	if o.TenantRecall == 0 {
+		o.TenantRecall = 0.9
+	}
+	// FalseTenantRate zero value is meaningful (no noise); keep it.
+	return o
+}
+
+// cityName strips the ",ST" suffix from a city key for use in prose.
+func cityName(key string) string {
+	if i := strings.LastIndexByte(key, ','); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Generate builds a synthetic public-records corpus describing the
+// ground-truth tenancy relation, with noise per opts. allISPs is the
+// universe of provider names used for false-tenant noise.
+func Generate(truth GroundTruth, allISPs []string, opts Options) *Corpus {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := &Corpus{truth: make(map[string][]string)}
+
+	// Deterministic iteration order over the map.
+	refs := make([]ConduitRef, 0, len(truth.Tenants))
+	for ref := range truth.Tenants {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].key() < refs[j].key() })
+
+	for _, ref := range refs {
+		tenants := truth.Tenants[ref]
+		c.truth[ref.key()] = append([]string(nil), tenants...)
+		if rng.Float64() >= opts.Coverage {
+			continue // this conduit left no public paper trail
+		}
+		// Which tenants get mentioned at all.
+		var named []string
+		for _, isp := range tenants {
+			if rng.Float64() < opts.TenantRecall {
+				named = append(named, isp)
+			}
+		}
+		if len(named) == 0 {
+			continue
+		}
+		// Possibly inject one false tenant.
+		if rng.Float64() < opts.FalseTenantRate && len(allISPs) > 0 {
+			for tries := 0; tries < 8; tries++ {
+				cand := allISPs[rng.Intn(len(allISPs))]
+				if !containsString(tenants, cand) {
+					named = append(named, cand)
+					break
+				}
+			}
+		}
+		// Split the named tenants across 1-3 documents, every document
+		// naming at least one.
+		nDocs := 1 + rng.Intn(3)
+		if nDocs > len(named) {
+			nDocs = len(named)
+		}
+		groups := make([][]string, nDocs)
+		for i, isp := range named {
+			groups[i%nDocs] = append(groups[i%nDocs], isp)
+		}
+		for _, group := range groups {
+			dt := DocType(rng.Intn(len(docTypeNames)))
+			doc := compose(len(c.Docs), dt, ref, group, rng)
+			c.Docs = append(c.Docs, doc)
+		}
+	}
+	return c
+}
+
+func containsString(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// compose writes a document in the register of its type. The prose
+// matters: the inference engine works by full-text search, so the
+// documents must bury the signal in realistic boilerplate.
+func compose(id int, dt DocType, ref ConduitRef, isps []string, rng *rand.Rand) Document {
+	a, b := cityName(ref.A), cityName(ref.B)
+	ispList := strings.Join(isps, ", ")
+	var title, body string
+	switch dt {
+	case IRUAgreement:
+		title = fmt.Sprintf("Indefeasible Right of Use Agreement: %s to %s fiber route", a, b)
+		body = fmt.Sprintf(
+			"This IRU agreement grants the purchaser an indefeasible right of use "+
+				"in %d dark fiber strands within the existing conduit between %s and %s. "+
+				"The conduit is presently occupied by facilities of %s. "+
+				"Term of this agreement is %d years with customary maintenance obligations.",
+			2+rng.Intn(94), a, b, ispList, 10+rng.Intn(20))
+	case ROWFiling:
+		title = fmt.Sprintf("Utility right-of-way occupancy permit, %s - %s corridor", a, b)
+		body = fmt.Sprintf(
+			"Pursuant to state utility accommodation policy, occupancy of the "+
+				"public right-of-way along the %s to %s corridor is granted to %s "+
+				"for the installation and maintenance of fiber-optic communication lines. "+
+				"Permittee shall locate facilities within the existing longitudinal trench.",
+			a, b, ispList)
+	case FranchiseAgreement:
+		title = fmt.Sprintf("Cable franchise agreement addendum, %s", a)
+		body = fmt.Sprintf(
+			"The franchisee's fiber plant between %s and %s shall be constructed in "+
+				"joint trench with existing facilities of %s where practicable. "+
+				"Franchise fee is %d percent of gross revenue.",
+			a, b, ispList, 3+rng.Intn(3))
+	case PressRelease:
+		title = fmt.Sprintf("%s extends national fiber infrastructure", isps[0])
+		body = fmt.Sprintf(
+			"The company announced an agreement adding %d route miles to its network, "+
+				"including segments connecting %s and %s. The buildout uses existing conduit "+
+				"capacity alongside %s, reducing construction cost and time to market.",
+			100+rng.Intn(19000), a, b, ispList)
+	case EnvironmentalImpact:
+		title = fmt.Sprintf("Final environmental impact statement, %s to %s project: utilities section", a, b)
+		body = fmt.Sprintf(
+			"Section 4 (utilities): the project corridor between %s and %s contains "+
+				"buried fiber-optic facilities belonging to %s. Utility relocation plans "+
+				"shall be coordinated with all listed owners prior to construction.",
+			a, b, ispList)
+	default: // SettlementNotice
+		title = fmt.Sprintf("Class action settlement notice: railroad right-of-way, %s to %s", a, b)
+		body = fmt.Sprintf(
+			"If you own land next to or under a railroad right-of-way between %s and %s "+
+				"where telecommunications facilities such as fiber-optic cables were installed "+
+				"by %s, you may be entitled to benefits under a class action settlement.",
+			a, b, ispList)
+	}
+	return Document{ID: id, Type: dt, Title: title, Body: body}
+}
+
+// TrueTenants exposes the generation-time tenant set for scoring.
+func (c *Corpus) TrueTenants(ref ConduitRef) []string {
+	return append([]string(nil), c.truth[ref.key()]...)
+}
+
+// Refs returns all conduits the corpus knows about, sorted.
+func (c *Corpus) Refs() []ConduitRef {
+	out := make([]ConduitRef, 0, len(c.truth))
+	for k := range c.truth {
+		i := strings.IndexByte(k, '~')
+		out = append(out, ConduitRef{A: k[:i], B: k[i+1:]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}

@@ -1,0 +1,25 @@
+package report_test
+
+import (
+	"fmt"
+
+	"intertubes/internal/report"
+)
+
+func ExampleTable() {
+	t := report.Table{Title: "Demo", Headers: []string{"ISP", "Links"}}
+	t.AddRow("Level 3", 336)
+	t.AddRow("AT&T", 57)
+	fmt.Print(t.String())
+	// Output:
+	// Demo
+	// ISP      Links
+	// -------  -----
+	// Level 3  336
+	// AT&T     57
+}
+
+func ExampleQuantile() {
+	fmt.Println(report.Quantile([]float64{1, 2, 3, 4, 5}, 0.5))
+	// Output: 3
+}

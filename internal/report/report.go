@@ -1,0 +1,244 @@
+// Package report renders the study's tables and figures as text:
+// aligned tables (Tables 1-5), bar charts (Figures 4, 6, 7),
+// heat maps (Figure 8), and CDF plots (Figures 9, 12). Everything
+// returns a string so the cmd tools, examples, and EXPERIMENTS.md
+// generation share one rendering path.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a titled, aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, stringifying the cells with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		// Trim trailing padding.
+		s := b.String()
+		for len(s) > 0 && s[len(s)-1] == ' ' {
+			s = s[:len(s)-1]
+		}
+		b.Reset()
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		var sep []string
+		for i := 0; i < ncols; i++ {
+			sep = append(sep, strings.Repeat("-", widths[i]))
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart scaled to width characters.
+func BarChart(title string, bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	maxL := 0
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > maxL {
+			maxL = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(b.Value / maxV * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %s\n", maxL, b.Label, strings.Repeat("#", n), trimFloat(b.Value))
+	}
+	return sb.String()
+}
+
+// CDFSeries is one named, sorted sample set.
+type CDFSeries struct {
+	Name   string
+	Values []float64 // must be sorted ascending
+}
+
+// CDFTable renders one or more empirical CDFs as a quantile table —
+// the textual equivalent of the paper's CDF figures.
+func CDFTable(title string, series []CDFSeries, quantiles []float64) string {
+	if len(quantiles) == 0 {
+		quantiles = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99}
+	}
+	t := Table{Title: title}
+	t.Headers = append(t.Headers, "series", "n")
+	for _, q := range quantiles {
+		t.Headers = append(t.Headers, fmt.Sprintf("p%02.0f", q*100))
+	}
+	for _, s := range series {
+		row := []any{s.Name, len(s.Values)}
+		for _, q := range quantiles {
+			row = append(row, Quantile(s.Values, q))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Quantile returns the q-quantile of ascending-sorted values, with
+// linear interpolation; NaN for empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FractionAtOrBelow returns the empirical CDF value at x.
+func FractionAtOrBelow(sorted []float64, x float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	n := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(sorted))
+}
+
+// Heatmap renders a labelled integer matrix with shade characters,
+// dark for small values (similar risk profiles in Figure 8 are dark).
+func Heatmap(title string, labels []string, cells [][]int) string {
+	shades := []byte{'@', '#', '+', '-', '.', ' '}
+	maxV := 0
+	for _, row := range cells {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	// Short labels for columns.
+	short := make([]string, len(labels))
+	maxL := 0
+	for i, l := range labels {
+		if len(l) > 4 {
+			short[i] = l[:4]
+		} else {
+			short[i] = l
+		}
+		if len(l) > maxL {
+			maxL = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s", maxL, "")
+	for _, s := range short {
+		fmt.Fprintf(&b, " %-4s", s)
+	}
+	b.WriteByte('\n')
+	for i, row := range cells {
+		fmt.Fprintf(&b, "%-*s", maxL, labels[i])
+		for _, v := range row {
+			var shade byte
+			if maxV == 0 {
+				shade = shades[0]
+			} else {
+				idx := v * (len(shades) - 1) / maxV
+				shade = shades[idx]
+			}
+			fmt.Fprintf(&b, " %c%c%c%c", shade, shade, shade, ' ')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: '@' = most similar (distance 0) ... ' ' = least similar\n")
+	return b.String()
+}

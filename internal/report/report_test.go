@@ -1,0 +1,169 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Title: "Table 1", Headers: []string{"ISP", "Nodes", "Links"}}
+	tab.AddRow("Level 3", 240, 336)
+	tab.AddRow("AT&T", 25, 57)
+	out := tab.String()
+	if !strings.Contains(out, "Table 1") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "ISP") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "Level 3") || !strings.Contains(lines[3], "336") {
+		t.Errorf("row = %q", lines[3])
+	}
+	// Columns align: "Nodes" column starts at the same offset in all rows.
+	col := strings.Index(lines[1], "Nodes")
+	if !strings.HasPrefix(lines[3][col:], "240") {
+		t.Errorf("misaligned: %q", lines[3])
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("trailing whitespace in %q", l)
+		}
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := Table{}
+	tab.AddRow(3.0, 3.14159, 12)
+	out := tab.String()
+	if !strings.Contains(out, "3  3.14  12") {
+		t.Errorf("float formatting: %q", out)
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tab := Table{}
+	tab.AddRow("x")
+	out := tab.String()
+	if strings.Contains(out, "-") {
+		t.Errorf("separator without headers: %q", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("Figure 6", []Bar{
+		{Label: "k=1", Value: 542},
+		{Label: "k=2", Value: 486},
+		{Label: "k=20", Value: 0},
+	}, 40)
+	if !strings.Contains(out, "Figure 6") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Largest bar has the full width of #, zero bar has none.
+	if strings.Count(lines[1], "#") != 40 {
+		t.Errorf("max bar = %q", lines[1])
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Errorf("zero bar = %q", lines[3])
+	}
+	// Default width.
+	out = BarChart("", []Bar{{Label: "a", Value: 1}}, 0)
+	if strings.Count(out, "#") != 50 {
+		t.Errorf("default width: %q", out)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(vals, q); math.Abs(got-want) > 1e-9 {
+			t.Errorf("q%.2f = %v, want %v", q, got, want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Error("single-element quantile")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		// sort ascending
+		for i := 1; i < len(vals); i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(vals, q1) <= Quantile(vals, q2)+1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	vals := []float64{1, 2, 2, 3}
+	if f := FractionAtOrBelow(vals, 2); math.Abs(f-0.75) > 1e-9 {
+		t.Errorf("f(2) = %v", f)
+	}
+	if f := FractionAtOrBelow(vals, 0.5); f != 0 {
+		t.Errorf("f(0.5) = %v", f)
+	}
+	if f := FractionAtOrBelow(vals, 99); f != 1 {
+		t.Errorf("f(99) = %v", f)
+	}
+	if f := FractionAtOrBelow(nil, 1); f != 0 {
+		t.Errorf("empty = %v", f)
+	}
+}
+
+func TestCDFTable(t *testing.T) {
+	out := CDFTable("Figure 9", []CDFSeries{
+		{Name: "physical", Values: []float64{1, 2, 3, 4, 5}},
+		{Name: "overlaid", Values: []float64{2, 4, 6, 8, 10}},
+	}, nil)
+	if !strings.Contains(out, "Figure 9") || !strings.Contains(out, "p50") {
+		t.Errorf("cdf table: %q", out)
+	}
+	if !strings.Contains(out, "physical") || !strings.Contains(out, "overlaid") {
+		t.Error("missing series")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("Figure 8", []string{"Level 3", "Sprint"}, [][]int{{0, 5}, {5, 0}})
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "Leve") {
+		t.Errorf("heatmap: %q", out)
+	}
+	// Diagonal (0) renders dark '@', max renders light ' '.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[2], "@@@") {
+		t.Errorf("diagonal not dark: %q", lines[2])
+	}
+	// All-zero matrix doesn't divide by zero.
+	_ = Heatmap("", []string{"a"}, [][]int{{0}})
+}

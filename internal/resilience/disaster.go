@@ -1,0 +1,63 @@
+package resilience
+
+import (
+	"sort"
+
+	"intertubes/internal/fiber"
+	"intertubes/internal/geo"
+	"intertubes/internal/risk"
+)
+
+// disaster.go models geographically correlated failures: a hurricane,
+// earthquake, or flood takes out every conduit whose route passes
+// through an affected region — the failure mode behind the paper's
+// natural-disaster citations (the 2003 blackout, the 2006 Taiwan
+// quake) and its observation that outages stem from a "lack of
+// geographic diversity in connectivity".
+
+// Region is a circular disaster footprint.
+type Region struct {
+	Center   geo.Point
+	RadiusKm float64
+}
+
+// ConduitsInRegion returns every tenanted conduit whose path enters
+// the region, sorted by id.
+func ConduitsInRegion(m *fiber.Map, r Region) []fiber.ConduitID {
+	var out []fiber.ConduitID
+	for i := range m.Conduits {
+		c := &m.Conduits[i]
+		if len(c.Tenants) == 0 {
+			continue
+		}
+		// Cheap bounds rejection before the exact distance test.
+		if !c.Path.Bounds().ExpandKm(r.RadiusKm).Contains(r.Center) {
+			continue
+		}
+		if c.Path.DistanceToKm(r.Center) <= r.RadiusKm {
+			out = append(out, c.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DisasterImpact is the outcome of a regional failure.
+type DisasterImpact struct {
+	Region       Region
+	ConduitsCut  int
+	TenanciesCut int // (ISP, conduit) links severed
+	Impacts      []Impact
+}
+
+// Disaster cuts every conduit in the region and evaluates the impact
+// on every matrix ISP.
+func Disaster(m *fiber.Map, mx *risk.Matrix, r Region) DisasterImpact {
+	cuts := ConduitsInRegion(m, r)
+	out := DisasterImpact{Region: r, ConduitsCut: len(cuts)}
+	for _, cid := range cuts {
+		out.TenanciesCut += len(m.Conduit(cid).Tenants)
+	}
+	out.Impacts = CutImpact(m, mx, cuts)
+	return out
+}

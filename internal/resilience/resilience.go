@@ -1,0 +1,277 @@
+// Package resilience analyzes the physical robustness of the
+// long-haul map to conduit failures — the dimension the paper's §4
+// opens ("the number of fiber cuts needed to partition the US
+// long-haul infrastructure ... has associated security implications")
+// and defers to future work. It quantifies:
+//
+//   - the impact of cutting a set of conduits on each provider
+//     (disconnected node pairs, largest surviving component);
+//   - targeted versus random cut strategies, showing that the heavily
+//     shared conduits of §4 are precisely the high-impact targets;
+//   - per-provider partition cost: the minimum number of conduit cuts
+//     that splits a backbone (Stoer-Wagner global min cut);
+//   - conduit criticality via shortest-path edge betweenness.
+package resilience
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"intertubes/internal/fiber"
+	"intertubes/internal/graph"
+	"intertubes/internal/risk"
+)
+
+// Impact describes what a set of conduit cuts does to one provider.
+type Impact struct {
+	ISP string
+	// CutsHit is how many of the cut conduits the provider occupied.
+	CutsHit int
+	// DisconnectedPairs is the fraction of the provider's node pairs
+	// that lose connectivity over its own published conduits.
+	DisconnectedPairs float64
+	// LargestComponent is the fraction of the provider's nodes left in
+	// its largest surviving component.
+	LargestComponent float64
+}
+
+// cutWeight builds a WeightFunc over m's conduit graph restricted to
+// the ISP's published conduits, excluding the cut set.
+func cutWeight(m *fiber.Map, isp string, cut map[fiber.ConduitID]bool) graph.WeightFunc {
+	return func(eid int) float64 {
+		cid := fiber.ConduitID(eid)
+		if cut[cid] {
+			return math.Inf(1)
+		}
+		c := m.Conduit(cid)
+		if !c.HasTenant(isp) {
+			return math.Inf(1)
+		}
+		return 1
+	}
+}
+
+// connectivity computes the pair-connectivity statistics of the ISP's
+// subgraph under a cut.
+func connectivity(m *fiber.Map, g *graph.Graph, isp string, cut map[fiber.ConduitID]bool) (pairsConnected float64, largest float64, nodes int) {
+	nodeSet := m.NodesOf(isp)
+	nodes = len(nodeSet)
+	if nodes < 2 {
+		return 1, 1, nodes
+	}
+	wf := cutWeight(m, isp, cut)
+	// Union-find over the ISP's surviving conduits.
+	parent := make(map[fiber.NodeID]fiber.NodeID, nodes)
+	var find func(fiber.NodeID) fiber.NodeID
+	find = func(x fiber.NodeID) fiber.NodeID {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, n := range nodeSet {
+		parent[n] = n
+	}
+	for eid := 0; eid < g.NumEdges(); eid++ {
+		if math.IsInf(wf(eid), 1) {
+			continue
+		}
+		c := m.Conduit(fiber.ConduitID(eid))
+		ra, rb := find(c.A), find(c.B)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	sizes := make(map[fiber.NodeID]int)
+	for _, n := range nodeSet {
+		sizes[find(n)]++
+	}
+	var sumSq, max int
+	for _, s := range sizes {
+		sumSq += s * s
+		if s > max {
+			max = s
+		}
+	}
+	// Connected ordered pairs / all ordered pairs (excluding self).
+	total := nodes * (nodes - 1)
+	connected := sumSq - nodes
+	return float64(connected) / float64(total), float64(max) / float64(nodes), nodes
+}
+
+// CutImpact evaluates a cut set against every ISP in the matrix.
+// Results are sorted by decreasing DisconnectedPairs.
+func CutImpact(m *fiber.Map, mx *risk.Matrix, cuts []fiber.ConduitID) []Impact {
+	g := m.Graph()
+	cut := make(map[fiber.ConduitID]bool, len(cuts))
+	for _, cid := range cuts {
+		cut[cid] = true
+	}
+	out := make([]Impact, 0, len(mx.ISPs))
+	for _, isp := range mx.ISPs {
+		im := Impact{ISP: isp}
+		for _, cid := range cuts {
+			if m.Conduit(cid).HasTenant(isp) {
+				im.CutsHit++
+			}
+		}
+		conn, largest, _ := connectivity(m, g, isp, cut)
+		im.DisconnectedPairs = 1 - conn
+		im.LargestComponent = largest
+		out = append(out, im)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].DisconnectedPairs > out[j].DisconnectedPairs
+	})
+	return out
+}
+
+// MeanDisconnection averages DisconnectedPairs over a result set —
+// the scalar used to compare cut strategies.
+func MeanDisconnection(impacts []Impact) float64 {
+	if len(impacts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, im := range impacts {
+		sum += im.DisconnectedPairs
+	}
+	return sum / float64(len(impacts))
+}
+
+// TargetedBySharing returns the k most-shared conduits — the §4
+// choke points as a cut strategy.
+func TargetedBySharing(mx *risk.Matrix, k int) []fiber.ConduitID {
+	return mx.TopShared(k)
+}
+
+// TargetedByBetweenness returns the k conduits with the highest
+// shortest-path betweenness over the lit conduit graph.
+func TargetedByBetweenness(m *fiber.Map, k int) []fiber.ConduitID {
+	g := m.Graph()
+	bc := g.EdgeBetweenness(m.LitWeight())
+	type scored struct {
+		cid fiber.ConduitID
+		v   float64
+	}
+	all := make([]scored, 0, len(bc))
+	for eid, v := range bc {
+		if v > 0 {
+			all = append(all, scored{cid: fiber.ConduitID(eid), v: v})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].cid < all[j].cid
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]fiber.ConduitID, len(all))
+	for i, s := range all {
+		out[i] = s.cid
+	}
+	return out
+}
+
+// RandomCuts draws trials random k-conduit cut sets (over tenanted
+// conduits) and returns the mean across trials of the mean
+// disconnection — the baseline a targeted attacker is compared
+// against.
+func RandomCuts(m *fiber.Map, mx *risk.Matrix, k, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var lit []fiber.ConduitID
+	for i := range m.Conduits {
+		if len(m.Conduits[i].Tenants) > 0 {
+			lit = append(lit, m.Conduits[i].ID)
+		}
+	}
+	if len(lit) == 0 || k <= 0 || trials <= 0 {
+		return 0
+	}
+	if k > len(lit) {
+		k = len(lit)
+	}
+	var total float64
+	for t := 0; t < trials; t++ {
+		perm := rng.Perm(len(lit))
+		cuts := make([]fiber.ConduitID, k)
+		for i := 0; i < k; i++ {
+			cuts[i] = lit[perm[i]]
+		}
+		total += MeanDisconnection(CutImpact(m, mx, cuts))
+	}
+	return total / float64(trials)
+}
+
+// PartitionCost is one provider's minimum-cut summary.
+type PartitionCost struct {
+	ISP string
+	// MinCuts is the minimum number of conduit cuts that partitions
+	// the provider's backbone (0 if it is already disconnected).
+	MinCuts int
+	// Nodes is the provider's footprint size.
+	Nodes int
+}
+
+// PartitionCosts computes, per provider, the minimum number of conduit
+// cuts that splits its published backbone (Stoer-Wagner with unit
+// conduit weights). Sorted ascending by MinCuts — the most fragile
+// providers first.
+func PartitionCosts(m *fiber.Map, isps []string) []PartitionCost {
+	g := m.Graph()
+	out := make([]PartitionCost, 0, len(isps))
+	for _, isp := range isps {
+		nodes := m.NodesOf(isp)
+		verts := make([]int, len(nodes))
+		for i, n := range nodes {
+			verts[i] = int(n)
+		}
+		pc := PartitionCost{ISP: isp, Nodes: len(nodes)}
+		unit := func(eid int) float64 {
+			if m.Conduit(fiber.ConduitID(eid)).HasTenant(isp) {
+				return 1
+			}
+			return math.Inf(1)
+		}
+		if cut, ok := g.GlobalMinCut(verts, unit); ok {
+			pc.MinCuts = int(math.Round(cut))
+		}
+		out = append(out, pc)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MinCuts < out[j].MinCuts })
+	return out
+}
+
+// CriticalConduit is one row of the criticality ranking.
+type CriticalConduit struct {
+	Conduit     fiber.ConduitID
+	A, B        string
+	Betweenness float64
+	Sharing     int
+}
+
+// Criticality ranks the top-k conduits by betweenness and reports
+// their sharing degree — the overlap between "carries the most paths"
+// and "shared by the most ISPs" is the paper's risk story in one
+// table.
+func Criticality(m *fiber.Map, mx *risk.Matrix, k int) []CriticalConduit {
+	g := m.Graph()
+	bc := g.EdgeBetweenness(m.LitWeight())
+	ids := TargetedByBetweenness(m, k)
+	out := make([]CriticalConduit, 0, len(ids))
+	for _, cid := range ids {
+		c := m.Conduit(cid)
+		out = append(out, CriticalConduit{
+			Conduit:     cid,
+			A:           m.Node(c.A).Key(),
+			B:           m.Node(c.B).Key(),
+			Betweenness: bc[int(cid)],
+			Sharing:     mx.Sharing(cid),
+		})
+	}
+	return out
+}

@@ -1,0 +1,354 @@
+// Package server exposes a completed Study over HTTP: map statistics,
+// per-provider and per-conduit detail, the risk metrics, every
+// rendered table/figure, and the GeoJSON layers. It is the
+// programmatic counterpart of the paper's data release through the
+// PREDICT portal.
+//
+// The API is read-only and JSON-first:
+//
+//	GET /healthz                    liveness
+//	GET /api/stats                  map statistics (Figure 1 numbers)
+//	GET /api/isps                   provider list with footprint sizes
+//	GET /api/isps/{name}            provider detail + risk profile
+//	GET /api/conduits?minshare=K    conduit list, optionally filtered
+//	GET /api/conduits/{id}          conduit detail
+//	GET /api/risk/sharing           Figure 6 counts
+//	GET /api/risk/ranking           Figure 7 rows
+//	GET /api/figures/{name}         rendered artifact (text/plain)
+//	GET /api/annotated?limit=N      annotated map (traffic + delay per conduit)
+//	GET /api/resilience             partition costs + conduit criticality
+//	GET /geojson/{layer}            fibermap | roads | rails | pipelines | annotated
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"intertubes"
+	"intertubes/internal/fiber"
+)
+
+// Server serves a Study. It is safe for concurrent use: the study is
+// fully materialized at construction and never mutated afterwards.
+type Server struct {
+	study *intertubes.Study
+	mux   *http.ServeMux
+	log   *log.Logger
+}
+
+// New builds a Server, eagerly materializing every lazy analysis the
+// endpoints need so request latency is flat.
+func New(study *intertubes.Study, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{study: study, mux: http.NewServeMux(), log: logger}
+	// Materialize lazy stages up front.
+	study.Robustness()
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler with request logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	s.log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/isps", s.handleISPs)
+	s.mux.HandleFunc("GET /api/isps/{name}", s.handleISP)
+	s.mux.HandleFunc("GET /api/conduits", s.handleConduits)
+	s.mux.HandleFunc("GET /api/conduits/{id}", s.handleConduit)
+	s.mux.HandleFunc("GET /api/risk/sharing", s.handleSharing)
+	s.mux.HandleFunc("GET /api/risk/ranking", s.handleRanking)
+	s.mux.HandleFunc("GET /api/figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /api/annotated", s.handleAnnotated)
+	s.mux.HandleFunc("GET /api/resilience", s.handleResilience)
+	s.mux.HandleFunc("GET /geojson/{layer}", s.handleGeoJSON)
+}
+
+// handleAnnotated serves the §8 annotated map (traffic + delay per
+// conduit). ?limit=N truncates.
+func (s *Server) handleAnnotated(w http.ResponseWriter, r *http.Request) {
+	anns := s.study.AnnotatedMap()
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		if n < len(anns) {
+			anns = anns[:n]
+		}
+	}
+	s.writeJSON(w, anns)
+}
+
+// handleResilience serves the fiber-cut analyses: partition costs and
+// conduit criticality.
+func (s *Server) handleResilience(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]any{
+		"partitionCosts": s.study.PartitionCosts(),
+		"criticality":    s.study.Criticality(10),
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Printf("encode: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.study.Map().Stats()
+	s.writeJSON(w, map[string]any{
+		"nodes":         st.Nodes,
+		"links":         st.Links,
+		"conduits":      st.Conduits,
+		"isps":          st.ISPs,
+		"totalKm":       st.TotalKm,
+		"avgTenancy":    st.AvgTenancy,
+		"maxSharing":    st.MaxSharing,
+		"sharedByGE2":   st.SharedByGE2,
+		"sharedByGE3":   st.SharedByGE3,
+		"sharedByGE4":   st.SharedByGE4,
+		"sharedByGT17":  st.SharedByGT17,
+		"paperHeadline": "273 nodes, 2411 links, 542 conduits",
+	})
+}
+
+type ispSummary struct {
+	Name     string `json:"name"`
+	Nodes    int    `json:"nodes"`
+	Conduits int    `json:"conduits"`
+}
+
+func (s *Server) handleISPs(w http.ResponseWriter, _ *http.Request) {
+	m := s.study.Map()
+	var out []ispSummary
+	for _, isp := range m.ISPs() {
+		out = append(out, ispSummary{
+			Name:     isp,
+			Nodes:    len(m.NodesOf(isp)),
+			Conduits: len(m.ConduitsOf(isp)),
+		})
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleISP(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m := s.study.Map()
+	conduits := m.ConduitsOf(name)
+	if len(conduits) == 0 {
+		s.writeError(w, http.StatusNotFound, "unknown provider "+name)
+		return
+	}
+	var risk struct {
+		Mean           float64  `json:"meanSharing"`
+		P25            float64  `json:"p25"`
+		P75            float64  `json:"p75"`
+		Rank           int      `json:"rank"`
+		SuggestedPeers []string `json:"suggestedPeers"`
+	}
+	for pos, row := range s.study.RiskMatrix().Ranking() {
+		if row.ISP == name {
+			risk.Mean, risk.P25, risk.P75, risk.Rank = row.Mean, row.P25, row.P75, pos+1
+		}
+	}
+	for _, rob := range s.study.Robustness() {
+		if rob.ISP == name {
+			risk.SuggestedPeers = rob.SuggestedPeers
+		}
+	}
+	cities := make([]string, 0)
+	for _, nid := range m.NodesOf(name) {
+		cities = append(cities, m.Node(nid).Key())
+	}
+	s.writeJSON(w, map[string]any{
+		"name":     name,
+		"nodes":    len(cities),
+		"cities":   cities,
+		"conduits": len(conduits),
+		"risk":     risk,
+	})
+}
+
+type conduitSummary struct {
+	ID       int     `json:"id"`
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	LengthKm float64 `json:"lengthKm"`
+	Sharing  int     `json:"sharing"`
+}
+
+func (s *Server) handleConduits(w http.ResponseWriter, r *http.Request) {
+	minShare := 0
+	if q := r.URL.Query().Get("minshare"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			s.writeError(w, http.StatusBadRequest, "minshare must be a non-negative integer")
+			return
+		}
+		minShare = v
+	}
+	m := s.study.Map()
+	out := make([]conduitSummary, 0)
+	for i := range m.Conduits {
+		c := &m.Conduits[i]
+		if len(c.Tenants) == 0 || len(c.Tenants) < minShare {
+			continue
+		}
+		out = append(out, conduitSummary{
+			ID:       int(c.ID),
+			A:        m.Node(c.A).Key(),
+			B:        m.Node(c.B).Key(),
+			LengthKm: c.LengthKm,
+			Sharing:  len(c.Tenants),
+		})
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleConduit(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	m := s.study.Map()
+	if err != nil || id < 0 || id >= len(m.Conduits) {
+		s.writeError(w, http.StatusNotFound, "no such conduit")
+		return
+	}
+	c := m.Conduit(fiber.ConduitID(id))
+	if len(c.Tenants) == 0 {
+		s.writeError(w, http.StatusNotFound, "conduit is not in the published map")
+		return
+	}
+	s.writeJSON(w, map[string]any{
+		"id":       id,
+		"a":        m.Node(c.A).Key(),
+		"b":        m.Node(c.B).Key(),
+		"lengthKm": c.LengthKm,
+		"tenants":  c.Tenants,
+		"sharing":  len(c.Tenants),
+	})
+}
+
+func (s *Server) handleSharing(w http.ResponseWriter, _ *http.Request) {
+	counts := s.study.RiskMatrix().SharingCounts()
+	type row struct {
+		K        int `json:"k"`
+		Conduits int `json:"conduits"`
+	}
+	out := make([]row, len(counts))
+	for i, c := range counts {
+		out[i] = row{K: i + 1, Conduits: c}
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleRanking(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		ISP      string  `json:"isp"`
+		Conduits int     `json:"conduits"`
+		Mean     float64 `json:"meanSharing"`
+		P25      float64 `json:"p25"`
+		P75      float64 `json:"p75"`
+	}
+	var out []row
+	for _, r := range s.study.RiskMatrix().Ranking() {
+		out = append(out, row{ISP: r.ISP, Conduits: r.Conduits, Mean: r.Mean, P25: r.P25, P75: r.P75})
+	}
+	s.writeJSON(w, out)
+}
+
+// figureRenderers maps artifact names to Study methods.
+func (s *Server) figureRenderers() map[string]func() string {
+	st := s.study
+	return map[string]func() string{
+		"table1":   st.RenderTable1,
+		"step3":    st.RenderStep3,
+		"figure1":  st.RenderFigure1,
+		"figure4":  st.RenderFigure4,
+		"figure6":  st.RenderFigure6,
+		"figure7":  st.RenderFigure7,
+		"figure8":  st.RenderFigure8,
+		"figure9":  st.RenderFigure9,
+		"table2":   st.RenderTable2,
+		"table3":   st.RenderTable3,
+		"table4":   st.RenderTable4,
+		"figure10": st.RenderFigure10,
+		"table5":   st.RenderTable5,
+		"figure11": st.RenderFigure11,
+		"figure12": st.RenderFigure12,
+	}
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	render, ok := s.figureRenderers()[name]
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown artifact "+name)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, render())
+}
+
+func (s *Server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
+	layer := r.PathValue("layer")
+	var raw []byte
+	var err error
+	res := s.study.Result()
+	switch layer {
+	case "fibermap":
+		raw, err = res.Map.GeoJSON()
+	case "roads":
+		raw, err = fiber.LayerGeoJSON("roads", res.Atlas.RoadPolylines())
+	case "rails":
+		raw, err = fiber.LayerGeoJSON("rails", res.Atlas.RailPolylines())
+	case "pipelines":
+		raw, err = fiber.LayerGeoJSON("pipelines", res.Atlas.PipelinePolylines())
+	case "annotated":
+		raw, err = s.study.AnnotatedGeoJSON()
+	default:
+		s.writeError(w, http.StatusNotFound, "unknown layer "+layer)
+		return
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/geo+json")
+	w.Write(raw)
+}

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"intertubes"
+)
+
+var testSrv *httptest.Server
+
+func srv(t *testing.T) *httptest.Server {
+	t.Helper()
+	if testSrv == nil {
+		study := intertubes.NewStudy(intertubes.Options{
+			Probes:          10000,
+			LatencyMaxPairs: 300,
+			AddConduits:     2,
+		})
+		testSrv = httptest.NewServer(New(study, log.New(io.Discard, "", 0)))
+	}
+	return testSrv
+}
+
+func get(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv(t).URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func getJSON(t *testing.T, path string, v any) *http.Response {
+	t.Helper()
+	resp, body := get(t, path)
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("%s: invalid JSON: %v\n%s", path, err, body)
+	}
+	return resp
+}
+
+func TestHealth(t *testing.T) {
+	var out map[string]string
+	resp := getJSON(t, "/healthz", &out)
+	if resp.StatusCode != 200 || out["status"] != "ok" {
+		t.Errorf("health = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var out map[string]any
+	resp := getJSON(t, "/api/stats", &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out["isps"].(float64) != 20 {
+		t.Errorf("isps = %v", out["isps"])
+	}
+	if out["conduits"].(float64) < 250 {
+		t.Errorf("conduits = %v", out["conduits"])
+	}
+	if resp.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("content type = %q", resp.Header.Get("Content-Type"))
+	}
+}
+
+func TestISPList(t *testing.T) {
+	var out []map[string]any
+	getJSON(t, "/api/isps", &out)
+	if len(out) != 20 {
+		t.Fatalf("isps = %d", len(out))
+	}
+	for _, isp := range out {
+		if isp["name"] == "" || isp["conduits"].(float64) == 0 {
+			t.Errorf("bad isp row %v", isp)
+		}
+	}
+}
+
+func TestISPDetail(t *testing.T) {
+	var out struct {
+		Name     string   `json:"name"`
+		Conduits int      `json:"conduits"`
+		Cities   []string `json:"cities"`
+		Risk     struct {
+			Mean           float64  `json:"meanSharing"`
+			Rank           int      `json:"rank"`
+			SuggestedPeers []string `json:"suggestedPeers"`
+		} `json:"risk"`
+	}
+	resp := getJSON(t, "/api/isps/Sprint", &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Name != "Sprint" || out.Conduits == 0 || len(out.Cities) == 0 {
+		t.Errorf("detail = %+v", out)
+	}
+	if out.Risk.Mean <= 1 || out.Risk.Rank == 0 {
+		t.Errorf("risk = %+v", out.Risk)
+	}
+	if len(out.Risk.SuggestedPeers) == 0 {
+		t.Error("no suggested peers")
+	}
+}
+
+func TestISPDetailNotFound(t *testing.T) {
+	resp, body := get(t, "/api/isps/Atlantis")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "error") {
+		t.Errorf("body = %s", body)
+	}
+}
+
+func TestConduitsListAndFilter(t *testing.T) {
+	var all, top []map[string]any
+	getJSON(t, "/api/conduits", &all)
+	getJSON(t, "/api/conduits?minshare=15", &top)
+	if len(all) < 250 {
+		t.Errorf("all conduits = %d", len(all))
+	}
+	if len(top) == 0 || len(top) >= len(all) {
+		t.Errorf("filtered = %d of %d", len(top), len(all))
+	}
+	for _, c := range top {
+		if c["sharing"].(float64) < 15 {
+			t.Errorf("filter leaked %v", c)
+		}
+	}
+}
+
+func TestConduitsBadFilter(t *testing.T) {
+	resp, _ := get(t, "/api/conduits?minshare=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, "/api/conduits?minshare=-3")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative status = %d", resp.StatusCode)
+	}
+}
+
+func TestConduitDetail(t *testing.T) {
+	// Find a real conduit id from the list first.
+	var all []map[string]any
+	getJSON(t, "/api/conduits", &all)
+	id := int(all[0]["id"].(float64))
+	var out struct {
+		Tenants []string `json:"tenants"`
+		A       string   `json:"a"`
+	}
+	resp := getJSON(t, "/api/conduits/"+itoa(id), &out)
+	if resp.StatusCode != 200 || len(out.Tenants) == 0 || out.A == "" {
+		t.Errorf("conduit %d = %+v (%d)", id, out, resp.StatusCode)
+	}
+}
+
+func itoa(v int) string {
+	return string(appendInt(nil, v))
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+func TestConduitNotFound(t *testing.T) {
+	for _, path := range []string{"/api/conduits/999999", "/api/conduits/xyz"} {
+		resp, _ := get(t, path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRiskEndpoints(t *testing.T) {
+	var sharing []struct {
+		K        int `json:"k"`
+		Conduits int `json:"conduits"`
+	}
+	getJSON(t, "/api/risk/sharing", &sharing)
+	if len(sharing) != 20 || sharing[0].K != 1 {
+		t.Fatalf("sharing = %v", sharing)
+	}
+	for i := 1; i < len(sharing); i++ {
+		if sharing[i].Conduits > sharing[i-1].Conduits {
+			t.Error("sharing counts must be non-increasing")
+		}
+	}
+	var ranking []struct {
+		ISP  string  `json:"isp"`
+		Mean float64 `json:"meanSharing"`
+	}
+	getJSON(t, "/api/risk/ranking", &ranking)
+	if len(ranking) != 20 {
+		t.Fatalf("ranking = %d", len(ranking))
+	}
+}
+
+func TestFigureEndpoints(t *testing.T) {
+	for _, name := range []string{"table1", "figure1", "figure6", "figure7", "table5"} {
+		resp, body := get(t, "/api/figures/"+name)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s status = %d", name, resp.StatusCode)
+		}
+		if len(body) < 40 {
+			t.Errorf("%s body too short", name)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s content type = %q", name, ct)
+		}
+	}
+	resp, _ := get(t, "/api/figures/figure99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown figure status = %d", resp.StatusCode)
+	}
+}
+
+func TestGeoJSONEndpoints(t *testing.T) {
+	for _, layer := range []string{"fibermap", "roads", "rails", "pipelines"} {
+		resp, body := get(t, "/geojson/"+layer)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s status = %d", layer, resp.StatusCode)
+		}
+		if !json.Valid(body) || !strings.Contains(string(body[:80]), "FeatureCollection") {
+			t.Errorf("%s is not GeoJSON", layer)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/geo+json" {
+			t.Errorf("%s content type = %q", layer, ct)
+		}
+	}
+	resp, _ := get(t, "/geojson/atlantis")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown layer status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	resp, err := http.Post(srv(t).URL+"/api/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAnnotatedEndpoint(t *testing.T) {
+	var anns []map[string]any
+	getJSON(t, "/api/annotated?limit=5", &anns)
+	if len(anns) != 5 {
+		t.Fatalf("annotated = %d", len(anns))
+	}
+	for _, a := range anns {
+		if a["delayMs"].(float64) <= 0 || a["sharing"].(float64) < 1 {
+			t.Errorf("bad annotation %v", a)
+		}
+	}
+	resp, _ := get(t, "/api/annotated?limit=-1")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit status = %d", resp.StatusCode)
+	}
+}
+
+func TestResilienceEndpoint(t *testing.T) {
+	var out struct {
+		PartitionCosts []struct {
+			ISP     string `json:"ISP"`
+			MinCuts int    `json:"MinCuts"`
+		} `json:"partitionCosts"`
+		Criticality []struct {
+			Betweenness float64 `json:"Betweenness"`
+		} `json:"criticality"`
+	}
+	getJSON(t, "/api/resilience", &out)
+	if len(out.PartitionCosts) != 20 || len(out.Criticality) != 10 {
+		t.Fatalf("resilience = %d costs, %d critical", len(out.PartitionCosts), len(out.Criticality))
+	}
+}
+
+func TestAnnotatedGeoJSONLayer(t *testing.T) {
+	resp, body := get(t, "/geojson/annotated")
+	if resp.StatusCode != 200 || !json.Valid(body) {
+		t.Errorf("annotated layer: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "probesWestEast") {
+		t.Error("annotations missing from GeoJSON properties")
+	}
+}

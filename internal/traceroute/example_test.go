@@ -1,0 +1,22 @@
+package traceroute
+
+import (
+	"fmt"
+	"strings"
+)
+
+func ExampleParseText() {
+	text := `traceroute to Denver,CO from Chicago,IL
+ 1  ae-1.chicil.level3.net  0.412 ms
+ 2  * * *
+ 3  ae-2.denvco.level3.net  18.400 ms`
+	traces, _ := ParseText(strings.NewReader(text))
+	fmt.Println(traces[0].Dest, len(traces[0].Hops))
+	// Output: Denver,CO 3
+}
+
+func ExampleISPForDomain() {
+	isp, _ := ISPForDomain("ae-3.dalltx.sprintlink.net")
+	fmt.Println(isp)
+	// Output: Sprint
+}

@@ -1,0 +1,28 @@
+package traceroute
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText asserts the traceroute text parser never panics and
+// that anything it accepts has structurally sane hops.
+func FuzzParseText(f *testing.F) {
+	f.Add(sampleTraceText)
+	f.Add(" 1  ae-1.chicil.level3.net  0.4 ms\n")
+	f.Add("traceroute to X\n 1  * * *\n")
+	f.Add("1")
+	f.Add("traceroute")
+	f.Add(" 999  name")
+	f.Fuzz(func(t *testing.T, input string) {
+		traces, err := ParseText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, tr := range traces {
+			if len(tr.Hops) == 0 {
+				t.Fatal("accepted a trace with no hops")
+			}
+		}
+	})
+}

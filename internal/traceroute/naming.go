@@ -1,0 +1,138 @@
+package traceroute
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"intertubes/internal/atlas"
+)
+
+// naming.go synthesizes and decodes router interface DNS names. The
+// paper attributed layer-3 hops to cities and providers through
+// "geolocation information and naming hints in the traceroute data"
+// (citing DRoP and Chabarek's "What's in a Name?"); our hop names
+// follow the same convention real carriers use:
+//
+//	ae-3.dllstx.sprintlink.net
+//	     ^^^^^^ city code   ^^^ provider domain
+//
+// A Namer builds the code table for a city set and decodes names back
+// to (city, provider) — including the collision handling a real
+// decoder needs.
+
+// domainForISP maps provider names to the DNS domains seen in
+// traceroute data.
+var domainForISP = map[string]string{
+	"AT&T":             "att.net",
+	"Comcast":          "cbone.comcast.net",
+	"Cogent":           "cogentco.com",
+	"EarthLink":        "earthlink.net",
+	"Integra":          "integra.net",
+	"Level 3":          "level3.net",
+	"Suddenlink":       "suddenlink.net",
+	"Verizon":          "alter.net",
+	"Zayo":             "zayo.com",
+	"CenturyLink":      "centurylink.net",
+	"Cox":              "cox.net",
+	"Deutsche Telekom": "dtag.de",
+	"HE":               "he.net",
+	"Inteliquent":      "inteliquent.com",
+	"NTT":              "ntt.net",
+	"Sprint":           "sprintlink.net",
+	"Tata":             "as6453.net",
+	"TeliaSonera":      "telia.net",
+	"TWC":              "twcable.com",
+	"XO":               "xo.net",
+	"SoftLayer":        "softlayer.com",
+	"MFN":              "mfnx.net",
+	"GTT":              "gtt.net",
+	"Windstream":       "windstream.net",
+}
+
+// ISPForDomain resolves a hop name's domain back to a provider name,
+// the way the paper's naming-hint analysis did.
+func ISPForDomain(hopName string) (string, bool) {
+	for isp, dom := range domainForISP {
+		if strings.HasSuffix(hopName, dom) {
+			return isp, true
+		}
+	}
+	return "", false
+}
+
+// Namer translates between cities and router-name city codes.
+type Namer struct {
+	codes  []string       // per atlas city index
+	byCode map[string]int // code -> city index
+}
+
+// NewNamer builds the code table for the atlas cities. Codes are the
+// first four letters of the condensed city name plus the lowercase
+// state; collisions get a numeric suffix (deterministically, by city
+// index).
+func NewNamer(a *atlas.Atlas) *Namer {
+	n := &Namer{codes: make([]string, len(a.Cities)), byCode: make(map[string]int)}
+	// Assign in a fixed order so collision suffixes are stable.
+	idxs := make([]int, len(a.Cities))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	sort.Slice(idxs, func(x, y int) bool { return idxs[x] < idxs[y] })
+	for _, i := range idxs {
+		base := baseCode(a.Cities[i].Name, a.Cities[i].State)
+		code := base
+		for suffix := 2; ; suffix++ {
+			if _, taken := n.byCode[code]; !taken {
+				break
+			}
+			code = fmt.Sprintf("%s%d", base, suffix)
+		}
+		n.codes[i] = code
+		n.byCode[code] = i
+	}
+	return n
+}
+
+func baseCode(city, state string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(city) {
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r)
+		}
+		if b.Len() == 4 {
+			break
+		}
+	}
+	return b.String() + strings.ToLower(state)
+}
+
+// Code returns the city code for an atlas city index.
+func (n *Namer) Code(city int) string { return n.codes[city] }
+
+// CityForCode decodes a city code.
+func (n *Namer) CityForCode(code string) (int, bool) {
+	i, ok := n.byCode[code]
+	return i, ok
+}
+
+// HopName renders a full router interface name.
+func (n *Namer) HopName(ifIndex, city int, isp string) string {
+	dom, ok := domainForISP[isp]
+	if !ok {
+		dom = "unknown.net"
+	}
+	return fmt.Sprintf("ae-%d.%s.%s", ifIndex, n.codes[city], dom)
+}
+
+// DecodeHopName extracts the city and provider from a router name.
+// It returns ok=false if either part cannot be resolved.
+func (n *Namer) DecodeHopName(name string) (city int, isp string, ok bool) {
+	parts := strings.SplitN(name, ".", 3)
+	if len(parts) < 3 {
+		return 0, "", false
+	}
+	city, cok := n.CityForCode(parts[1])
+	isp, iok := ISPForDomain(name)
+	return city, isp, cok && iok
+}

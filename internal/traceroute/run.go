@@ -1,0 +1,414 @@
+package traceroute
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"intertubes/internal/atlas"
+	"intertubes/internal/fiber"
+	"intertubes/internal/geo"
+	"intertubes/internal/graph"
+	"intertubes/internal/mapbuilder"
+)
+
+// run.go synthesizes the campaign and performs the conduit overlay.
+
+// ispContext caches the routing state for one transit provider.
+type ispContext struct {
+	name string
+	// truthWF routes over the provider's ground-truth corridor edges.
+	truthWF graph.WeightFunc
+	// truthEdges is the provider's ground-truth footprint.
+	truthEdges map[int]bool
+	// nodes are the atlas cities on the provider's backbone.
+	nodes []int
+	// weight is the provider's share of transit (backbone size).
+	weight float64
+}
+
+type pathKey struct {
+	isp  int
+	a, b int
+}
+
+// Run synthesizes a campaign over the built map and overlays it onto
+// the published conduits.
+func Run(res *mapbuilder.Result, opts Options) *Campaign {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	a := res.Atlas
+	g := res.Graph
+
+	c := &Campaign{
+		Opts:            opts,
+		ConduitProbes:   make(map[fiber.ConduitID]*DirCounts),
+		ISPConduits:     make(map[string]map[fiber.ConduitID]int64),
+		InferredTenants: make(map[fiber.ConduitID]map[string]bool),
+		truthByName:     make(map[string]map[int]bool, len(res.Truth)),
+		ispIndex:        make(map[string]int),
+		res:             res,
+		namer:           NewNamer(a),
+	}
+	for name, fp := range res.Truth {
+		c.truthByName[name] = fp.Edges
+	}
+
+	// Transit providers, deterministic order.
+	names := make([]string, 0, len(res.Truth))
+	for name := range res.Truth {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var isps []*ispContext
+	var totalWeight float64
+	for _, name := range names {
+		fp := res.Truth[name]
+		if len(fp.Edges) == 0 {
+			continue
+		}
+		edges := fp.Edges
+		ctx := &ispContext{
+			name:       name,
+			truthEdges: edges,
+			nodes:      fp.Nodes(a),
+			weight:     float64(len(edges)),
+			truthWF: func(eid int) float64 {
+				if !edges[eid] {
+					return inf
+				}
+				return a.Corridors[eid].LengthKm
+			},
+		}
+		isps = append(isps, ctx)
+		totalWeight += ctx.weight
+	}
+
+	// Client/server gravity over all cities.
+	pops := make([]float64, len(a.Cities))
+	allCities := make([]int, len(a.Cities))
+	for i, city := range a.Cities {
+		pops[i] = float64(city.Population)
+		allCities[i] = i
+	}
+	grav := newGravity(pops, allCities)
+
+	// Map graph for the overlay (vertices are fiber.NodeIDs).
+	mg := res.Map.Graph()
+	cityNode := make([]int, len(a.Cities)) // atlas city -> map node or -1
+	for i := range cityNode {
+		cityNode[i] = -1
+	}
+	for _, n := range res.Map.Nodes {
+		if n.AtlasCity >= 0 {
+			cityNode[n.AtlasCity] = int(n.ID)
+		}
+	}
+
+	truthPaths := make(map[pathKey]graph.Path)
+	overlayPaths := make(map[pathKey][]fiber.ConduitID)
+	nearestMemo := make(map[pathKey]int) // (isp, city, 0) -> backbone node
+	peerHubs := make(map[[2]int][]int)   // (isp1, isp2) -> peering cities
+
+	nearestBackbone := func(ispIdx int, ctx *ispContext, city int) int {
+		key := pathKey{isp: ispIdx, a: city}
+		if v, ok := nearestMemo[key]; ok {
+			return v
+		}
+		loc := a.Cities[city].Loc
+		best, bestD := -1, 1e18
+		for _, n := range ctx.nodes {
+			if d := a.Cities[n].Loc.DistanceKm(loc); d < bestD {
+				best, bestD = n, d
+			}
+		}
+		nearestMemo[key] = best
+		return best
+	}
+
+	for i := 0; i < opts.N; i++ {
+		src := grav.draw(rng)
+		dst := grav.draw(rng)
+		if src == dst || src < 0 {
+			continue
+		}
+		// Transit provider in proportion to backbone size.
+		x := rng.Float64() * totalWeight
+		ispIdx := 0
+		for ; ispIdx < len(isps)-1; ispIdx++ {
+			x -= isps[ispIdx].weight
+			if x < 0 {
+				break
+			}
+		}
+		ctx := isps[ispIdx]
+
+		memoPath := func(ispIdx int, ctx *ispContext, a, b int) (graph.Path, bool) {
+			pk := pathKey{isp: ispIdx, a: a, b: b}
+			path, ok := truthPaths[pk]
+			if !ok {
+				path, _ = g.ShortestPath(a, b, ctx.truthWF)
+				truthPaths[pk] = path
+			}
+			return path, len(path.Edges) > 0
+		}
+
+		// With probability PeerProb the trace crosses two providers,
+		// handing off at a mutual peering hub — real paths routinely
+		// do, and the overlay must attribute each segment to the right
+		// provider from its hop names alone.
+		var trace Trace
+		if rng.Float64() < opts.PeerProb && len(isps) > 1 {
+			isp2Idx := rng.Intn(len(isps))
+			if isp2Idx == ispIdx {
+				isp2Idx = (isp2Idx + 1) % len(isps)
+			}
+			ctx2 := isps[isp2Idx]
+			hub := choosePeerHub(a, peerHubs, ispIdx, isp2Idx, ctx, ctx2, src, dst)
+			if hub < 0 {
+				continue // the two providers never meet
+			}
+			entry := nearestBackbone(ispIdx, ctx, src)
+			exit := nearestBackbone(isp2Idx, ctx2, dst)
+			if entry < 0 || exit < 0 || entry == hub || exit == hub {
+				continue
+			}
+			p1, ok1 := memoPath(ispIdx, ctx, entry, hub)
+			p2, ok2 := memoPath(isp2Idx, ctx2, hub, exit)
+			if !ok1 || !ok2 {
+				continue
+			}
+			c.Total++
+			trace = c.synthesizeTwo(rng, ctx, ctx2, src, dst, p1, p2)
+		} else {
+			entry := nearestBackbone(ispIdx, ctx, src)
+			exit := nearestBackbone(ispIdx, ctx, dst)
+			if entry < 0 || exit < 0 || entry == exit {
+				continue // no long-haul transit on this trace
+			}
+			path, ok := memoPath(ispIdx, ctx, entry, exit)
+			if !ok {
+				continue
+			}
+			c.Total++
+			trace = c.synthesize(rng, ctx, src, dst, path)
+		}
+		if len(c.Samples) < opts.RetainTraces {
+			c.Samples = append(c.Samples, trace)
+		}
+		c.overlay(trace, mg, cityNode, overlayPaths)
+	}
+	return c
+}
+
+// choosePeerHub returns the atlas city where the two providers hand
+// traffic off: among the biggest cities both backbones touch, the one
+// closest to the src-dst great-circle midpoint. Returns -1 if the
+// footprints are disjoint.
+func choosePeerHub(a *atlas.Atlas, memo map[[2]int][]int, i1, i2 int, c1, c2 *ispContext, src, dst int) int {
+	key := [2]int{i1, i2}
+	if i1 > i2 {
+		key = [2]int{i2, i1}
+	}
+	hubs, ok := memo[key]
+	if !ok {
+		in2 := make(map[int]bool, len(c2.nodes))
+		for _, n := range c2.nodes {
+			in2[n] = true
+		}
+		var common []int
+		for _, n := range c1.nodes {
+			if in2[n] {
+				common = append(common, n)
+			}
+		}
+		// Providers peer at their biggest mutual markets: keep the top
+		// few by population.
+		sort.Slice(common, func(x, y int) bool {
+			px, py := a.Cities[common[x]].Population, a.Cities[common[y]].Population
+			if px != py {
+				return px > py
+			}
+			return common[x] < common[y]
+		})
+		if len(common) > 4 {
+			common = common[:4]
+		}
+		memo[key] = common
+		hubs = common
+	}
+	if len(hubs) == 0 {
+		return -1
+	}
+	mid := geo.Midpoint(a.Cities[src].Loc, a.Cities[dst].Loc)
+	best, bestD := -1, math.Inf(1)
+	for _, h := range hubs {
+		if d := a.Cities[h].Loc.DistanceKm(mid); d < bestD {
+			best, bestD = h, d
+		}
+	}
+	return best
+}
+
+// synthesize renders the visible hops of one trace: every backbone
+// city on the path, unless the segment rides an MPLS tunnel, in which
+// case only the ingress and egress are visible (paper §4.3's caveat).
+// Each hop name resolves unless rDNS noise hides it.
+func (c *Campaign) synthesize(rng *rand.Rand, ctx *ispContext, src, dst int, path graph.Path) Trace {
+	a := c.res.Atlas
+	t := Trace{SrcCity: src, DstCity: dst, ISP: ctx.name}
+	t.MPLS = rng.Float64() < c.Opts.MPLSProb
+
+	cities := path.Nodes
+	visible := cities
+	if t.MPLS && len(cities) > 2 {
+		visible = []int{cities[0], cities[len(cities)-1]}
+	}
+	// Cumulative RTT: access tail to the first hop plus fiber distance
+	// along the backbone, times two (round trip), with jitter.
+	rtt := 2 * geo.FiberLatencyMs(a.Cities[src].Loc.DistanceKm(a.Cities[cities[0]].Loc)*1.3)
+	prev := cities[0]
+	for _, city := range visible {
+		if city != prev {
+			rtt += 2 * geo.FiberLatencyMs(a.Cities[prev].Loc.DistanceKm(a.Cities[city].Loc)*1.2)
+			prev = city
+		}
+		h := Hop{City: city, RTTms: rtt + rng.Float64()*0.4}
+		if rng.Float64() >= c.Opts.GeoNoiseProb {
+			h.Name = c.namer.HopName(1+rng.Intn(9), city, ctx.name)
+		}
+		t.Hops = append(t.Hops, h)
+	}
+	return t
+}
+
+// synthesizeTwo renders a two-provider trace: the first provider's
+// hops up to the peering hub, then the second provider's hops. Either
+// segment may independently ride an MPLS tunnel.
+func (c *Campaign) synthesizeTwo(rng *rand.Rand, ctx1, ctx2 *ispContext, src, dst int, p1, p2 graph.Path) Trace {
+	t1 := c.synthesize(rng, ctx1, src, dst, p1)
+	// The second segment begins at the peering hub, so its access
+	// tail is zero-length.
+	t2 := c.synthesize(rng, ctx2, p2.Nodes[0], dst, p2)
+	out := Trace{SrcCity: src, DstCity: dst, ISP: ctx1.name, PeerISP: ctx2.name, MPLS: t1.MPLS || t2.MPLS}
+	out.Hops = append(out.Hops, t1.Hops...)
+	// Continue the clock: the second segment's RTTs stack on the
+	// first segment's final RTT.
+	base := 0.0
+	if len(t1.Hops) > 0 {
+		base = t1.Hops[len(t1.Hops)-1].RTTms
+	}
+	for _, h := range t2.Hops {
+		h.RTTms += base
+		out.Hops = append(out.Hops, h)
+	}
+	return out
+}
+
+// overlay attributes one trace's visible hop pairs to published
+// conduits using only hop names and the published map, then scores the
+// attribution against ground truth.
+func (c *Campaign) overlay(t Trace, mg *graph.Graph, cityNode []int, memo map[pathKey][]fiber.ConduitID) {
+	m := c.res.Map
+	westEast := t.WestToEast(c)
+
+	// Decode the hops a measurement study could decode.
+	type decoded struct {
+		city int
+		isp  string
+	}
+	var hops []decoded
+	for _, h := range t.Hops {
+		if h.Name == "" {
+			continue
+		}
+		city, isp, ok := c.namer.DecodeHopName(h.Name)
+		if !ok {
+			continue
+		}
+		hops = append(hops, decoded{city: city, isp: isp})
+	}
+	for i := 1; i < len(hops); i++ {
+		a, b := hops[i-1], hops[i]
+		if a.city == b.city {
+			continue
+		}
+		isp := b.isp // the far end's provider owns the segment
+		conduits := c.segmentConduits(a.city, b.city, isp, mg, cityNode, memo)
+		if conduits == nil {
+			c.Unattributed++
+			continue
+		}
+		for _, cid := range conduits {
+			dc := c.ConduitProbes[cid]
+			if dc == nil {
+				dc = &DirCounts{}
+				c.ConduitProbes[cid] = dc
+			}
+			if westEast {
+				dc.WestEast++
+			} else {
+				dc.EastWest++
+			}
+			byISP := c.ISPConduits[isp]
+			if byISP == nil {
+				byISP = make(map[fiber.ConduitID]int64)
+				c.ISPConduits[isp] = byISP
+			}
+			byISP[cid]++
+			tenants := c.InferredTenants[cid]
+			if tenants == nil {
+				tenants = make(map[string]bool)
+				c.InferredTenants[cid] = tenants
+			}
+			tenants[isp] = true
+
+			// Ground-truth scoring: did the overlay put the probe in a
+			// conduit the provider actually occupies?
+			c.AttributionChecked++
+			if c.truthByName[isp][m.Conduit(cid).Corridor] {
+				c.AttributionCorrect++
+			}
+		}
+	}
+}
+
+// segmentConduits maps a visible hop pair onto published conduits:
+// first over the provider's published footprint, then over any lit
+// conduit (the provider may be absent from the published map
+// entirely — that is how "additional ISPs" are discovered). A nil
+// return means the segment cannot be attributed.
+func (c *Campaign) segmentConduits(cityA, cityB int, isp string, mg *graph.Graph, cityNode []int, memo map[pathKey][]fiber.ConduitID) []fiber.ConduitID {
+	idx, ok := c.ispIndex[isp]
+	if !ok {
+		idx = len(c.ispIndex)
+		c.ispIndex[isp] = idx
+	}
+	key := pathKey{isp: idx, a: cityA, b: cityB}
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	m := c.res.Map
+	var out []fiber.ConduitID
+	na, nb := cityNode[cityA], cityNode[cityB]
+	if na < 0 || nb < 0 {
+		memo[key] = nil
+		return nil
+	}
+	path, ok := mg.ShortestPath(na, nb, m.TenantWeight(isp))
+	if !ok {
+		path, ok = mg.ShortestPath(na, nb, m.LitWeight())
+	}
+	if ok {
+		out = make([]fiber.ConduitID, len(path.Edges))
+		for i, eid := range path.Edges {
+			out[i] = fiber.ConduitID(eid)
+		}
+	}
+	memo[key] = out
+	return out
+}
+
+// inf excludes an edge from Dijkstra (the graph package skips +Inf
+// edges entirely).
+var inf = math.Inf(1)
