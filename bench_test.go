@@ -11,6 +11,8 @@ package intertubes_test
 // report its headline number as a custom metric where one exists.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -447,4 +449,94 @@ func BenchmarkLatencyImprovements(b *testing.B) {
 		}
 	}
 	b.ReportMetric(saved, "total-ms-saved-top10")
+}
+
+// ---- Worker-pool scaling (the internal/par substrate). ----
+//
+// Each pair below times the same computation at workers=1 and at the
+// machine's CPU count; the outputs are bit-identical by construction
+// (see DESIGN.md "Parallel execution"), so the only difference the
+// pair can show is wall-clock speedup. On a multi-core machine the
+// campaign and latency variants should scale near-linearly; on a
+// uniprocessor both variants collapse to the serial path.
+
+func workerCounts() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	// Uniprocessor: still exercise the pooled code path.
+	return []int{1, 2}
+}
+
+// BenchmarkWorkersColocation times the Figure 4 co-location scan over
+// every tenanted conduit via OverlapAnalyzer.AnalyzeAll.
+func BenchmarkWorkersColocation(b *testing.B) {
+	sharedStudy()
+	an := geo.NewOverlapAnalyzer(map[string][]geo.Polyline{
+		"road": benchRes.Atlas.RoadPolylines(),
+		"rail": benchRes.Atlas.RailPolylines(),
+	}, geo.OverlapOptions{BufferKm: 15})
+	var pls []geo.Polyline
+	for j := range benchRes.Map.Conduits {
+		c := &benchRes.Map.Conduits[j]
+		if len(c.Tenants) > 0 {
+			pls = append(pls, c.Path)
+		}
+	}
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if out := an.AnalyzeAll(pls, w); len(out) != len(pls) {
+					b.Fatal("short result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkersCampaign times the Figure 9 traceroute campaign.
+func BenchmarkWorkersCampaign(b *testing.B) {
+	sharedStudy()
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				camp := traceroute.Run(benchRes, traceroute.Options{N: 20000, Seed: 7, Workers: w})
+				total = camp.Total
+			}
+			b.ReportMetric(float64(total), "probes-kept")
+		})
+	}
+}
+
+// BenchmarkWorkersLatencyStudy times the Figure 12 all-pairs sweep.
+func BenchmarkWorkersLatencyStudy(b *testing.B) {
+	sharedStudy()
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				study := mitigate.LatencyStudy(benchRes.Map, benchRes.Atlas,
+					mitigate.LatencyOptions{MaxPairs: 800, Workers: w})
+				pairs = len(study)
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
+	}
+}
+
+// BenchmarkWorkersAddConduits times the Figure 11 candidate-scoring
+// scan inside the greedy sweep.
+func BenchmarkWorkersAddConduits(b *testing.B) {
+	sharedStudy()
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var added int
+			for i := 0; i < b.N; i++ {
+				res := mitigate.AddConduits(benchRes.Map, benchMx, mitigate.AddOptions{K: 3, Workers: w})
+				added = len(res.Additions)
+			}
+			b.ReportMetric(float64(added), "conduits-added")
+		})
+	}
 }

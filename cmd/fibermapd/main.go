@@ -61,9 +61,10 @@ func main() {
 func setup(args []string, logger *log.Logger) (*http.Server, error) {
 	fs := flag.NewFlagSet("fibermapd", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", ":8080", "listen address")
-		seed   = fs.Int64("seed", 42, "study seed")
-		probes = fs.Int("probes", 100000, "traceroute campaign size")
+		addr    = fs.String("addr", ":8080", "listen address")
+		seed    = fs.Int64("seed", 42, "study seed")
+		probes  = fs.Int("probes", 100000, "traceroute campaign size")
+		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -71,7 +72,7 @@ func setup(args []string, logger *log.Logger) (*http.Server, error) {
 
 	logger.Printf("building study (seed %d)...", *seed)
 	start := time.Now()
-	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes})
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes, Workers: *workers})
 	handler := server.New(study, logger)
 	logger.Printf("study ready in %s", time.Since(start).Round(time.Millisecond))
 

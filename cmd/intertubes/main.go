@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	intertubes [-seed N] [-all] [-table1] [-step3] [-fig4]
-//	           [-export DIR] [-dataset FILE]
+//	intertubes [-seed N] [-workers N] [-all] [-table1] [-step3]
+//	           [-fig4] [-export DIR] [-dataset FILE]
 //
 // With no selection flags it prints the Figure 1 summary.
 package main
@@ -32,6 +32,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("intertubes", flag.ContinueOnError)
 	var (
 		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
 		all     = fs.Bool("all", false, "render every table and figure of the paper")
 		table1  = fs.Bool("table1", false, "render Table 1 (per-ISP nodes and links)")
 		step3   = fs.Bool("step3", false, "render the step-3 POP-only additions")
@@ -43,7 +44,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	study := intertubes.NewStudy(intertubes.Options{Seed: *seed})
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Workers: *workers})
 
 	switch {
 	case *all:

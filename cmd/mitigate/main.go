@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mitigate [-seed N] [-k N] [-fig10] [-table5] [-fig11] [-fig12]
+//	mitigate [-seed N] [-workers N] [-k N] [-fig10] [-table5] [-fig11] [-fig12]
 //
 // With no selection flags it renders everything in §5 order.
 package main
@@ -30,18 +30,19 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mitigate", flag.ContinueOnError)
 	var (
-		seed   = fs.Int64("seed", 42, "study seed (deterministic)")
-		k      = fs.Int("k", 10, "number of new conduits for the Figure 11 sweep")
-		fig10  = fs.Bool("fig10", false, "Figure 10: path inflation and shared-risk reduction")
-		table5 = fs.Bool("table5", false, "Table 5: suggested peerings")
-		fig11  = fs.Bool("fig11", false, "Figure 11: improvement vs conduits added")
-		fig12  = fs.Bool("fig12", false, "Figure 12: latency CDFs and proposed ROW builds")
+		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		k       = fs.Int("k", 10, "number of new conduits for the Figure 11 sweep")
+		fig10   = fs.Bool("fig10", false, "Figure 10: path inflation and shared-risk reduction")
+		table5  = fs.Bool("table5", false, "Table 5: suggested peerings")
+		fig11   = fs.Bool("fig11", false, "Figure 11: improvement vs conduits added")
+		fig12   = fs.Bool("fig12", false, "Figure 12: latency CDFs and proposed ROW builds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, AddConduits: *k})
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, AddConduits: *k, Workers: *workers})
 
 	any := *fig10 || *table5 || *fig11 || *fig12
 	show := func(selected bool, render func() string) {

@@ -27,13 +27,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
 	var (
-		seed = fs.Int64("seed", 42, "study seed (deterministic)")
-		k    = fs.Int("k", 8, "number of conduits to cut in the strategy comparison")
+		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		k       = fs.Int("k", 8, "number of conduits to cut in the strategy comparison")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	study := intertubes.NewStudy(intertubes.Options{Seed: *seed})
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Workers: *workers})
 	fmt.Fprintln(out, study.RenderResilience(*k))
 	return nil
 }

@@ -29,21 +29,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("riskreport", flag.ContinueOnError)
 	var (
-		seed   = fs.Int64("seed", 42, "study seed (deterministic)")
-		probes = fs.Int("probes", 200000, "traceroute campaign size")
-		fig6   = fs.Bool("fig6", false, "Figure 6: conduits shared by >= k ISPs")
-		fig7   = fs.Bool("fig7", false, "Figure 7: per-ISP average sharing")
-		fig8   = fs.Bool("fig8", false, "Figure 8: Hamming-distance heat map")
-		fig9   = fs.Bool("fig9", false, "Figure 9: sharing CDF with traffic overlay")
-		table2 = fs.Bool("table2", false, "Table 2: top west-to-east conduits")
-		table3 = fs.Bool("table3", false, "Table 3: top east-to-west conduits")
-		table4 = fs.Bool("table4", false, "Table 4: top ISPs by conduits carrying probes")
+		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
+		probes  = fs.Int("probes", 200000, "traceroute campaign size")
+		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		fig6    = fs.Bool("fig6", false, "Figure 6: conduits shared by >= k ISPs")
+		fig7    = fs.Bool("fig7", false, "Figure 7: per-ISP average sharing")
+		fig8    = fs.Bool("fig8", false, "Figure 8: Hamming-distance heat map")
+		fig9    = fs.Bool("fig9", false, "Figure 9: sharing CDF with traffic overlay")
+		table2  = fs.Bool("table2", false, "Table 2: top west-to-east conduits")
+		table3  = fs.Bool("table3", false, "Table 3: top east-to-west conduits")
+		table4  = fs.Bool("table4", false, "Table 4: top ISPs by conduits carrying probes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes})
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes, Workers: *workers})
 
 	any := *fig6 || *fig7 || *fig8 || *fig9 || *table2 || *table3 || *table4
 	show := func(selected bool, render func() string) {

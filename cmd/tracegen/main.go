@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tracegen [-seed N] [-n N] [-samples N] [-text]
+//	tracegen [-seed N] [-workers N] [-n N] [-samples N] [-text]
 //
 // With -text the samples print in standard traceroute format (which
 // traceroute.ParseText reads back).
@@ -30,6 +30,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
 		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers = fs.Int("workers", 0, "worker pool for the campaign (0 = all CPUs; results identical)")
 		n       = fs.Int("n", 100000, "number of traceroutes to synthesize")
 		samples = fs.Int("samples", 3, "raw traces to print")
 		asText  = fs.Bool("text", false, "print samples in parseable traceroute text format")
@@ -38,7 +39,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *n})
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *n, Workers: *workers})
 	camp := study.Campaign()
 
 	fmt.Fprintf(out, "campaign: %d traceroutes with long-haul transit (of %d requested)\n",

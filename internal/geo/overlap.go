@@ -1,5 +1,7 @@
 package geo
 
+import "intertubes/internal/par"
+
 // overlap.go implements the co-location (buffered overlap) analysis
 // the paper performed with ArcGIS: for each fiber conduit polyline,
 // what fraction of the route lies within a buffer of the roadway
@@ -75,6 +77,16 @@ type Colocation struct {
 	Any       float64            // within buffer of at least one layer
 	None      float64            // within buffer of no layer
 	Samples   int
+}
+
+// AnalyzeAll analyzes each polyline using up to `workers` goroutines
+// (<= 0 means all CPUs) and returns the results in input order. Every
+// analysis reads only the immutable layer indexes, so the output is
+// identical to calling Analyze in a loop for any worker count.
+func (a *OverlapAnalyzer) AnalyzeAll(pls []Polyline, workers int) []Colocation {
+	return par.Map(len(pls), workers, func(i int) Colocation {
+		return a.Analyze(pls[i])
+	})
 }
 
 // Analyze samples the polyline and measures per-layer co-location.

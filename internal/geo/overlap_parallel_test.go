@@ -1,0 +1,39 @@
+package geo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAnalyzeAllWorkerInvariance pins the parallel co-location scan to
+// the serial per-polyline results for several worker counts.
+func TestAnalyzeAllWorkerInvariance(t *testing.T) {
+	layers := map[string][]Polyline{
+		"road": {
+			{Point{40, -110}, Point{40, -100}},
+			{Point{38, -104}, Point{42, -104}},
+		},
+		"rail": {
+			{Point{45, -110}, Point{45, -100}},
+		},
+	}
+	a := NewOverlapAnalyzer(layers, OverlapOptions{BufferKm: 15, SampleStepKm: 10})
+
+	var pls []Polyline
+	for i := 0; i < 150; i++ {
+		lat := 38 + float64(i%9)
+		lon := -111 + float64(i%13)
+		pls = append(pls, GreatCircle(Point{lat, lon}, Point{lat + 0.5, lon + 6}, 12))
+	}
+
+	want := make([]Colocation, len(pls))
+	for i, pl := range pls {
+		want[i] = a.Analyze(pl)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		got := a.AnalyzeAll(pls, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: AnalyzeAll diverges from serial Analyze", workers)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"intertubes/internal/fiber"
 	"intertubes/internal/graph"
+	"intertubes/internal/par"
 	"intertubes/internal/risk"
 )
 
@@ -41,6 +42,10 @@ type AddOptions struct {
 	// reduction in best achievable worst-case sharing. Slower; exists
 	// for the greedy-vs-exact ablation in DESIGN.md.
 	Exact bool
+	// Workers bounds the worker pool for the per-target distance
+	// fields and the candidate-scoring scan (<= 0 means all CPUs).
+	// The chosen additions are identical for any value.
+	Workers int
 }
 
 func (o AddOptions) withDefaults() AddOptions {
@@ -227,7 +232,11 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 		// Per-target fields used to score every candidate in O(1):
 		// summed-SR distances (fast approximation) or minimax
 		// worst-sharing distances (exact), weighted by how many ISPs
-		// would re-route over that target.
+		// would re-route over that target. The unique-target list is
+		// collected serially (insertion order is deterministic), then
+		// the distance fields — one or two Dijkstra sweeps each — fan
+		// out over the worker pool; the graph and the sharing closure
+		// are read-only until the addition below.
 		type field struct {
 			distA, distB []float64
 			current      float64 // current best re-route worst-sharing
@@ -235,46 +244,55 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 			weight       float64 // ISPs with this target
 		}
 		fields := make(map[fiber.ConduitID]*field)
+		var fieldOrder []fiber.ConduitID
 		for _, st := range states {
 			for _, tgt := range st.targets {
 				if f, done := fields[tgt]; done {
 					f.weight++
 					continue
 				}
-				c := m.Conduit(tgt)
-				wf := func(eid int) float64 {
-					if fiber.ConduitID(eid) == tgt {
-						return math.Inf(1)
-					}
-					return sharing(eid)
-				}
-				f := &field{orig: float64(mx.Sharing(tgt)), weight: 1}
-				if opts.Exact {
-					f.distA = g.MinimaxDistances(int(c.A), wf)
-					f.distB = g.MinimaxDistances(int(c.B), wf)
-					f.current = f.distA[int(c.B)]
-				} else {
-					cur, _, ok := bestReroute(tgt)
-					if !ok {
-						cur = math.Inf(1)
-					}
-					f.distA = g.ShortestDistances(int(c.A), wf)
-					f.distB = g.ShortestDistances(int(c.B), wf)
-					f.current = cur
-				}
-				fields[tgt] = f
+				fields[tgt] = &field{orig: float64(mx.Sharing(tgt)), weight: 1}
+				fieldOrder = append(fieldOrder, tgt)
 			}
 		}
+		par.For(len(fieldOrder), opts.Workers, func(i int) {
+			tgt := fieldOrder[i]
+			f := fields[tgt]
+			c := m.Conduit(tgt)
+			wf := func(eid int) float64 {
+				if fiber.ConduitID(eid) == tgt {
+					return math.Inf(1)
+				}
+				return sharing(eid)
+			}
+			if opts.Exact {
+				f.distA = g.MinimaxDistances(int(c.A), wf)
+				f.distB = g.MinimaxDistances(int(c.B), wf)
+				f.current = f.distA[int(c.B)]
+			} else {
+				cur, _, ok := bestReroute(tgt)
+				if !ok {
+					cur = math.Inf(1)
+				}
+				f.distA = g.ShortestDistances(int(c.A), wf)
+				f.distB = g.ShortestDistances(int(c.B), wf)
+				f.current = cur
+			}
+		})
 		// Score candidates: a candidate (u,v) helps target t if
 		// routing endpointA ->u -> new conduit -> v-> endpointB (or the
 		// reverse) beats both the original conduit and the current
 		// best re-route. We approximate the path's worst-case sharing
 		// by its average SR per hop, which the exact recomputation
-		// after selection corrects.
-		bestIdx, bestScore := -1, 0.0
-		for ci, cand := range cands {
+		// after selection corrects. Each candidate's score is
+		// independent, and the per-candidate float accumulation always
+		// walks fieldOrder — never map order — so the scan is both
+		// parallelizable and run-to-run deterministic.
+		scores := par.Map(len(cands), opts.Workers, func(ci int) float64 {
+			cand := cands[ci]
 			var gain float64
-			for _, f := range fields {
+			for _, tgt := range fieldOrder {
+				f := fields[tgt]
 				if opts.Exact {
 					// Exact: the candidate's worst-case sharing when
 					// used on a re-route is the bottleneck of the two
@@ -309,7 +327,12 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 					gain += f.weight * shave / (1 + detour/10)
 				}
 			}
-			score := gain - opts.Alpha*cand.km/1000
+			return gain - opts.Alpha*cand.km/1000
+		})
+		// Ordered reduce: the first strict improvement wins, exactly
+		// as the serial scan behaved.
+		bestIdx, bestScore := -1, 0.0
+		for ci, score := range scores {
 			if score > bestScore {
 				bestIdx, bestScore = ci, score
 			}

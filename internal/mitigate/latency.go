@@ -8,6 +8,7 @@ import (
 	"intertubes/internal/fiber"
 	"intertubes/internal/geo"
 	"intertubes/internal/graph"
+	"intertubes/internal/par"
 )
 
 // latency.go implements §5.3: propagation delays between major city
@@ -61,6 +62,9 @@ type LatencyOptions struct {
 	// distance (default 900 km, matching the 1-4 ms delay range of the
 	// paper's Figure 12).
 	MaxLosKm float64
+	// Workers bounds the worker pool for the all-pairs sweep (<= 0
+	// means all CPUs). The result is identical for any value.
+	Workers int
 }
 
 func (o LatencyOptions) withDefaults() LatencyOptions {
@@ -137,16 +141,24 @@ func LatencyStudy(m *fiber.Map, a *atlas.Atlas, opts LatencyOptions) []PairLaten
 		pairs = kept
 	}
 
-	out := make([]PairLatency, 0, len(pairs))
-	for _, p := range pairs {
+	// Each pair is an independent read-only query against the two
+	// graphs, so the sweep fans out over the worker pool; dropped
+	// pairs (no lit path) are filtered during the ordered reduce.
+	type pairResult struct {
+		pl PairLatency
+		ok bool
+	}
+	litWF := m.LitWeight()
+	computed := par.Map(len(pairs), opts.Workers, func(i int) pairResult {
+		p := pairs[i]
 		na, nb := m.Node(p.a), m.Node(p.b)
 		pl := PairLatency{A: p.a, B: p.b}
 		pl.LosMs = geo.FiberLatencyMs(na.Loc.DistanceKm(nb.Loc))
 
 		// Existing physical paths over lit conduits.
-		paths := g.KShortestPaths(int(p.a), int(p.b), opts.KPaths, m.LitWeight())
+		paths := g.KShortestPaths(int(p.a), int(p.b), opts.KPaths, litWF)
 		if len(paths) == 0 {
-			continue
+			return pairResult{}
 		}
 		best := paths[0].Weight
 		var sum float64
@@ -170,7 +182,13 @@ func LatencyStudy(m *fiber.Map, a *atlas.Atlas, opts LatencyOptions) []PairLaten
 		if pl.RowMs == 0 {
 			pl.RowMs = pl.BestMs
 		}
-		out = append(out, pl)
+		return pairResult{pl: pl, ok: true}
+	})
+	out := make([]PairLatency, 0, len(pairs))
+	for _, r := range computed {
+		if r.ok {
+			out = append(out, r.pl)
+		}
 	}
 	return out
 }

@@ -1,0 +1,62 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzChunks asserts the chunk-boundary arithmetic: every index range
+// is covered exactly once, in order, by chunks that never exceed
+// ChunkSize, and the parallel map built on those chunks agrees with a
+// plain loop for the fuzzed worker count.
+func FuzzChunks(f *testing.F) {
+	f.Add(0, 1)
+	f.Add(1, 1)
+	f.Add(ChunkSize-1, 2)
+	f.Add(ChunkSize, 3)
+	f.Add(ChunkSize+1, 4)
+	f.Add(5*ChunkSize+7, 9)
+	f.Fuzz(func(t *testing.T, n, workers int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 14
+		chunks := Chunks(n)
+		next := 0
+		for _, c := range chunks {
+			lo, hi := c[0], c[1]
+			if lo != next {
+				t.Fatalf("chunk starts at %d, want %d (gap or overlap)", lo, next)
+			}
+			if hi <= lo {
+				t.Fatalf("empty chunk [%d,%d)", lo, hi)
+			}
+			if hi-lo > ChunkSize {
+				t.Fatalf("chunk [%d,%d) exceeds ChunkSize", lo, hi)
+			}
+			if lo%ChunkSize != 0 {
+				t.Fatalf("chunk start %d off the fixed grid", lo)
+			}
+			next = hi
+		}
+		if next != n && !(n == 0 && len(chunks) == 0) {
+			t.Fatalf("chunks cover [0,%d), want [0,%d)", next, n)
+		}
+
+		w := workers%16 - 2 // include <=0 (NumCPU)
+		got := MapSeeded(n, w, int64(n)*7919, func(i int, rng *rand.Rand) int64 {
+			return int64(i) ^ rng.Int63()
+		})
+		want := MapSeeded(n, 1, int64(n)*7919, func(i int, rng *rand.Rand) int64 {
+			return int64(i) ^ rng.Int63()
+		})
+		if len(got) != len(want) {
+			t.Fatalf("len %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("out[%d] differs across worker counts", i)
+			}
+		}
+	})
+}

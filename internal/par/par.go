@@ -1,0 +1,235 @@
+// Package par is the deterministic parallel-execution substrate for
+// the analysis hot paths: an order-preserving chunked map over index
+// ranges, a worker count resolved from runtime.NumCPU (overridable
+// per call), and per-chunk math/rand streams derived from a campaign
+// seed.
+//
+// The determinism contract is the whole point of the package: for any
+// worker count — including 1 — the same inputs yield bit-identical
+// outputs. Three properties make that hold:
+//
+//  1. Chunk boundaries lie on a fixed grid (ChunkSize) that depends on
+//     nothing but the index range, so the set of chunks is identical
+//     no matter how many workers claim them.
+//  2. Each chunk's rand stream is derived from (seed, absolute chunk
+//     index) alone — see ChunkSeed — and indices within a chunk run in
+//     order, so hop-level randomness never depends on scheduling.
+//  3. Results land at out[i]; reduction happens in index order in the
+//     caller, never in completion order.
+//
+// Memo is the companion piece for ported loops that used serial
+// memoization: it caches *pure* computations behind a mutex, so a
+// cache hit and a recomputation are indistinguishable and the memo
+// affects speed only, never results.
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkSize is the number of consecutive indices a worker claims at a
+// time. It is a constant, not a function of the worker count: chunk
+// boundaries (and therefore the per-chunk rand streams of MapSeeded)
+// must not move when the machine changes.
+const ChunkSize = 64
+
+// Workers resolves a requested worker count: n > 0 is honored as
+// given, anything else means runtime.NumCPU().
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Chunks returns the half-open index ranges [lo, hi) into which
+// [0, n) is split, in order. Exported so tests and fuzzers can check
+// the boundary arithmetic directly.
+func Chunks(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	out := make([][2]int, 0, (n+ChunkSize-1)/ChunkSize)
+	for lo := 0; lo < n; lo += ChunkSize {
+		hi := lo + ChunkSize
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// ChunkSeed derives the rand stream for one chunk from the campaign
+// seed and the absolute chunk index, with a splitmix64 finalizer so
+// that neighboring chunks get well-separated streams even for small
+// seeds.
+func ChunkSeed(seed int64, chunk int) int64 {
+	z := uint64(seed) + uint64(chunk+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// forChunks runs fn over every chunk of the absolute index range
+// [lo, hi), claiming chunks from a shared atomic counter. The grid is
+// absolute: a chunk's index is its position in [0, ...), so a caller
+// processing a window [lo, hi) of a larger range sees the same chunk
+// seeds the whole-range call would. fn receives the chunk index and
+// the clipped [clo, chi) item range. A panic in any worker is
+// re-raised in the caller.
+func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
+	if hi <= lo {
+		return
+	}
+	firstChunk := lo / ChunkSize
+	lastChunk := (hi - 1) / ChunkSize
+	nchunks := lastChunk - firstChunk + 1
+	clip := func(c int) (int, int) {
+		clo, chi := c*ChunkSize, (c+1)*ChunkSize
+		if clo < lo {
+			clo = lo
+		}
+		if chi > hi {
+			chi = hi
+		}
+		return clo, chi
+	}
+	workers = Workers(workers)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		for c := firstChunk; c <= lastChunk; c++ {
+			clo, chi := clip(c)
+			fn(c, clo, chi)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				c := firstChunk + int(next.Add(1)) - 1
+				if c > lastChunk {
+					return
+				}
+				clo, chi := clip(c)
+				fn(c, clo, chi)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// For calls fn(i) for every i in [0, n) from up to `workers`
+// goroutines (<= 0 means NumCPU) and returns once all calls finish.
+// fn must not depend on cross-index ordering.
+func For(n, workers int, fn func(i int)) {
+	forChunks(0, n, workers, func(_, clo, chi int) {
+		for i := clo; i < chi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map computes out[i] = fn(i) for i in [0, n) in parallel. The result
+// is identical to a plain serial loop for any worker count, provided
+// fn is pure per index.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	For(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapSeeded is Map with a per-chunk *rand.Rand derived from seed:
+// chunk c gets rand.New(rand.NewSource(ChunkSeed(seed, c))), and the
+// indices of a chunk run in order sharing that stream. Because the
+// chunk grid is fixed, the output is bit-identical for any worker
+// count — the property the serial-equivalence suite pins.
+func MapSeeded[T any](n, workers int, seed int64, fn func(i int, rng *rand.Rand) T) []T {
+	return MapSeededRange(0, n, workers, seed, fn)
+}
+
+// MapSeededRange is MapSeeded over the absolute index window
+// [lo, hi): out[i-lo] = fn(i, rng). Chunk indices (and so the rand
+// streams) are positions on the absolute grid, which lets a caller
+// stream a long range through a bounded buffer window by window and
+// still produce exactly what one whole-range call would.
+func MapSeededRange[T any](lo, hi, workers int, seed int64, fn func(i int, rng *rand.Rand) T) []T {
+	if hi <= lo {
+		return nil
+	}
+	out := make([]T, hi-lo)
+	forChunks(lo, hi, workers, func(chunk, clo, chi int) {
+		rng := rand.New(rand.NewSource(ChunkSeed(seed, chunk)))
+		for i := clo; i < chi; i++ {
+			out[i-lo] = fn(i, rng)
+		}
+	})
+	return out
+}
+
+// Memo is a mutex-guarded cache for pure computations shared by
+// workers. Do computes outside the lock, so two workers may both
+// compute a missing entry — for a pure fn both results are equal and
+// last-write-wins is harmless. That trade keeps the critical section
+// tiny and, crucially, keeps results independent of scheduling.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// NewMemo returns an empty memo.
+func NewMemo[K comparable, V any]() *Memo[K, V] {
+	return &Memo[K, V]{m: make(map[K]V)}
+}
+
+// Do returns the cached value for key, computing and caching it with
+// fn on a miss. fn must be pure: its result may be discarded in favor
+// of a concurrent worker's identical one.
+func (t *Memo[K, V]) Do(key K, fn func() V) V {
+	t.mu.Lock()
+	if v, ok := t.m[key]; ok {
+		t.mu.Unlock()
+		return v
+	}
+	t.mu.Unlock()
+	v := fn()
+	t.mu.Lock()
+	t.m[key] = v
+	t.mu.Unlock()
+	return v
+}
+
+// Len returns the number of cached entries.
+func (t *Memo[K, V]) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

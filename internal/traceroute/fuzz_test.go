@@ -14,6 +14,11 @@ func FuzzParseText(f *testing.F) {
 	f.Add("1")
 	f.Add("traceroute")
 	f.Add(" 999  name")
+	// MPLS-elided tunnel: only the ingress and egress routers are
+	// visible, with the whole tunnel's delay on the final hop.
+	f.Add("traceroute to Denver,CO from Chicago,IL\n 1  ae-1.chicil.level3.net  2.1 ms\n 2  ae-9.dnvrco.level3.net  24.9 ms\n")
+	// Headerless capture: hop lines with no "traceroute to" banner.
+	f.Add(" 1  xe-0.chicil.att.net  1.2 ms\n 2  xe-3.stlsmo.att.net  8.7 ms\n 3  * * *\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		traces, err := ParseText(strings.NewReader(input))
 		if err != nil {

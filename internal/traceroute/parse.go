@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"intertubes/internal/fiber"
+	"intertubes/internal/par"
 )
 
 // parse.go reads textual traceroute output back into Traces, so the
@@ -140,7 +141,7 @@ func (c *Campaign) OverlayParsed(traces []ParsedTrace) int {
 			cityNode[n.AtlasCity] = int(n.ID)
 		}
 	}
-	memo := make(map[pathKey][]fiber.ConduitID)
+	memo := par.NewMemo[pathKey, []fiber.ConduitID]()
 	contributed := 0
 	for _, pt := range traces {
 		// Rebuild a Trace with ground-truth-free city hops.
@@ -163,10 +164,10 @@ func (c *Campaign) OverlayParsed(traces []ParsedTrace) int {
 		if len(hops) < 2 || firstCity == lastCity {
 			continue
 		}
-		before := c.AttributionChecked
 		tr := Trace{SrcCity: firstCity, DstCity: lastCity, Hops: hops}
-		c.overlay(tr, mg, cityNode, memo)
-		if c.AttributionChecked > before {
+		attrs, misses := c.attribute(tr, mg, cityNode, memo)
+		c.apply(tr.WestToEast(c), attrs, misses)
+		if len(attrs) > 0 {
 			contributed++
 		}
 	}

@@ -10,9 +10,25 @@ import (
 	"intertubes/internal/geo"
 	"intertubes/internal/graph"
 	"intertubes/internal/mapbuilder"
+	"intertubes/internal/par"
 )
 
 // run.go synthesizes the campaign and performs the conduit overlay.
+//
+// The campaign is structured for deterministic parallelism in three
+// phases:
+//
+//  1. Probe decisions (endpoints, transit provider, peering) are drawn
+//     serially from the campaign stream with a fixed number of rand
+//     calls per probe, so the sequence never depends on routing
+//     outcomes.
+//  2. Routing, synthesis, and conduit attribution — the expensive
+//     per-probe work — fan out over a worker pool via par.MapSeeded:
+//     hop-level randomness (MPLS tunnels, RTT jitter, rDNS noise)
+//     comes from per-chunk streams on a fixed grid, and the route
+//     memos cache pure shortest-path results, so any worker count
+//     produces bit-identical traces.
+//  3. Campaign counters are reduced in probe order on one goroutine.
 
 // ispContext caches the routing state for one transit provider.
 type ispContext struct {
@@ -30,6 +46,15 @@ type ispContext struct {
 type pathKey struct {
 	isp  int
 	a, b int
+}
+
+// segAttr is one conduit attribution extracted from a trace: the
+// overlay's output for a single visible hop pair, before it is folded
+// into the campaign counters.
+type segAttr struct {
+	cid     fiber.ConduitID
+	isp     string
+	correct bool // matches the provider's ground-truth footprint
 }
 
 // Run synthesizes a campaign over the built map and overlays it onto
@@ -54,12 +79,16 @@ func Run(res *mapbuilder.Result, opts Options) *Campaign {
 		c.truthByName[name] = fp.Edges
 	}
 
-	// Transit providers, deterministic order.
+	// Transit providers, deterministic order. Provider memo indices
+	// are assigned up front so workers never mutate the index map.
 	names := make([]string, 0, len(res.Truth))
 	for name := range res.Truth {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	for i, name := range names {
+		c.ispIndex[name] = i
+	}
 	var isps []*ispContext
 	var totalWeight float64
 	for _, name := range names {
@@ -105,98 +134,143 @@ func Run(res *mapbuilder.Result, opts Options) *Campaign {
 		}
 	}
 
-	truthPaths := make(map[pathKey]graph.Path)
-	overlayPaths := make(map[pathKey][]fiber.ConduitID)
-	nearestMemo := make(map[pathKey]int) // (isp, city, 0) -> backbone node
-	peerHubs := make(map[[2]int][]int)   // (isp1, isp2) -> peering cities
+	// Route memos shared by the workers. Every cached value is a pure
+	// function of the immutable map/atlas, so the memos change speed,
+	// never results.
+	truthPaths := par.NewMemo[pathKey, graph.Path]()
+	nearestMemo := par.NewMemo[pathKey, int]() // (isp, city, 0) -> backbone node
+	peerHubs := par.NewMemo[[2]int, []int]()   // (isp1, isp2) -> peering cities
+	overlayMemo := par.NewMemo[pathKey, []fiber.ConduitID]()
 
 	nearestBackbone := func(ispIdx int, ctx *ispContext, city int) int {
-		key := pathKey{isp: ispIdx, a: city}
-		if v, ok := nearestMemo[key]; ok {
-			return v
-		}
-		loc := a.Cities[city].Loc
-		best, bestD := -1, 1e18
-		for _, n := range ctx.nodes {
-			if d := a.Cities[n].Loc.DistanceKm(loc); d < bestD {
-				best, bestD = n, d
+		return nearestMemo.Do(pathKey{isp: ispIdx, a: city}, func() int {
+			loc := a.Cities[city].Loc
+			best, bestD := -1, 1e18
+			for _, n := range ctx.nodes {
+				if d := a.Cities[n].Loc.DistanceKm(loc); d < bestD {
+					best, bestD = n, d
+				}
 			}
-		}
-		nearestMemo[key] = best
-		return best
+			return best
+		})
+	}
+	memoPath := func(ispIdx int, ctx *ispContext, from, to int) (graph.Path, bool) {
+		path := truthPaths.Do(pathKey{isp: ispIdx, a: from, b: to}, func() graph.Path {
+			p, _ := g.ShortestPath(from, to, ctx.truthWF)
+			return p
+		})
+		return path, len(path.Edges) > 0
 	}
 
-	for i := 0; i < opts.N; i++ {
-		src := grav.draw(rng)
-		dst := grav.draw(rng)
-		if src == dst || src < 0 {
-			continue
-		}
-		// Transit provider in proportion to backbone size.
+	// Phase 1: probe-level decisions from the campaign stream. The
+	// per-probe call pattern is fixed — every probe draws endpoints,
+	// a provider, a peering roll, and a peer pick — so the stream
+	// cannot drift with routing outcomes.
+	type probeSpec struct {
+		src, dst int
+		ispIdx   int
+		peer     bool
+		peerPick int
+	}
+	specs := make([]probeSpec, opts.N)
+	for i := range specs {
+		sp := &specs[i]
+		sp.src = grav.draw(rng)
+		sp.dst = grav.draw(rng)
 		x := rng.Float64() * totalWeight
-		ispIdx := 0
-		for ; ispIdx < len(isps)-1; ispIdx++ {
-			x -= isps[ispIdx].weight
+		for ; sp.ispIdx < len(isps)-1; sp.ispIdx++ {
+			x -= isps[sp.ispIdx].weight
 			if x < 0 {
 				break
 			}
 		}
-		ctx := isps[ispIdx]
-
-		memoPath := func(ispIdx int, ctx *ispContext, a, b int) (graph.Path, bool) {
-			pk := pathKey{isp: ispIdx, a: a, b: b}
-			path, ok := truthPaths[pk]
-			if !ok {
-				path, _ = g.ShortestPath(a, b, ctx.truthWF)
-				truthPaths[pk] = path
-			}
-			return path, len(path.Edges) > 0
+		sp.peer = rng.Float64() < opts.PeerProb
+		if len(isps) > 1 {
+			sp.peerPick = rng.Intn(len(isps))
 		}
+	}
 
-		// With probability PeerProb the trace crosses two providers,
-		// handing off at a mutual peering hub — real paths routinely
-		// do, and the overlay must attribute each segment to the right
-		// provider from its hop names alone.
+	// Phase 2: the pure per-probe kernel — route, synthesize,
+	// attribute. A zero probeOut means the probe saw no long-haul
+	// transit (same rejections as the serial code).
+	type probeOut struct {
+		ok       bool
+		trace    Trace
+		westEast bool
+		attrs    []segAttr
+		misses   int
+	}
+	probe := func(i int, prng *rand.Rand) probeOut {
+		sp := specs[i]
+		if sp.src == sp.dst || sp.src < 0 {
+			return probeOut{}
+		}
+		ctx := isps[sp.ispIdx]
 		var trace Trace
-		if rng.Float64() < opts.PeerProb && len(isps) > 1 {
-			isp2Idx := rng.Intn(len(isps))
-			if isp2Idx == ispIdx {
+		if sp.peer && len(isps) > 1 {
+			// The trace crosses two providers, handing off at a mutual
+			// peering hub — real paths routinely do, and the overlay
+			// must attribute each segment to the right provider from
+			// its hop names alone.
+			isp2Idx := sp.peerPick
+			if isp2Idx == sp.ispIdx {
 				isp2Idx = (isp2Idx + 1) % len(isps)
 			}
 			ctx2 := isps[isp2Idx]
-			hub := choosePeerHub(a, peerHubs, ispIdx, isp2Idx, ctx, ctx2, src, dst)
+			hub := choosePeerHub(a, peerHubs, sp.ispIdx, isp2Idx, ctx, ctx2, sp.src, sp.dst)
 			if hub < 0 {
-				continue // the two providers never meet
+				return probeOut{} // the two providers never meet
 			}
-			entry := nearestBackbone(ispIdx, ctx, src)
-			exit := nearestBackbone(isp2Idx, ctx2, dst)
+			entry := nearestBackbone(sp.ispIdx, ctx, sp.src)
+			exit := nearestBackbone(isp2Idx, ctx2, sp.dst)
 			if entry < 0 || exit < 0 || entry == hub || exit == hub {
-				continue
+				return probeOut{}
 			}
-			p1, ok1 := memoPath(ispIdx, ctx, entry, hub)
+			p1, ok1 := memoPath(sp.ispIdx, ctx, entry, hub)
 			p2, ok2 := memoPath(isp2Idx, ctx2, hub, exit)
 			if !ok1 || !ok2 {
-				continue
+				return probeOut{}
 			}
-			c.Total++
-			trace = c.synthesizeTwo(rng, ctx, ctx2, src, dst, p1, p2)
+			trace = c.synthesizeTwo(prng, ctx, ctx2, sp.src, sp.dst, p1, p2)
 		} else {
-			entry := nearestBackbone(ispIdx, ctx, src)
-			exit := nearestBackbone(ispIdx, ctx, dst)
+			entry := nearestBackbone(sp.ispIdx, ctx, sp.src)
+			exit := nearestBackbone(sp.ispIdx, ctx, sp.dst)
 			if entry < 0 || exit < 0 || entry == exit {
-				continue // no long-haul transit on this trace
+				return probeOut{} // no long-haul transit on this trace
 			}
-			path, ok := memoPath(ispIdx, ctx, entry, exit)
+			path, ok := memoPath(sp.ispIdx, ctx, entry, exit)
 			if !ok {
+				return probeOut{}
+			}
+			trace = c.synthesize(prng, ctx, sp.src, sp.dst, path)
+		}
+		out := probeOut{ok: true, trace: trace, westEast: trace.WestToEast(c)}
+		out.attrs, out.misses = c.attribute(trace, mg, cityNode, overlayMemo)
+		return out
+	}
+
+	// Phases 2+3, windowed: each window fans the kernel out over the
+	// worker pool and reduces in probe order, bounding the in-flight
+	// traces regardless of campaign size. The synthesis seed is offset
+	// from the campaign seed because phase 1 already consumed that
+	// stream; chunk indices stay absolute across windows.
+	synthSeed := opts.Seed + 0x5eed
+	const window = 64 * par.ChunkSize
+	for lo := 0; lo < opts.N; lo += window {
+		hi := lo + window
+		if hi > opts.N {
+			hi = opts.N
+		}
+		for _, o := range par.MapSeededRange(lo, hi, opts.Workers, synthSeed, probe) {
+			if !o.ok {
 				continue
 			}
 			c.Total++
-			trace = c.synthesize(rng, ctx, src, dst, path)
+			if len(c.Samples) < opts.RetainTraces {
+				c.Samples = append(c.Samples, o.trace)
+			}
+			c.apply(o.westEast, o.attrs, o.misses)
 		}
-		if len(c.Samples) < opts.RetainTraces {
-			c.Samples = append(c.Samples, trace)
-		}
-		c.overlay(trace, mg, cityNode, overlayPaths)
 	}
 	return c
 }
@@ -205,13 +279,12 @@ func Run(res *mapbuilder.Result, opts Options) *Campaign {
 // traffic off: among the biggest cities both backbones touch, the one
 // closest to the src-dst great-circle midpoint. Returns -1 if the
 // footprints are disjoint.
-func choosePeerHub(a *atlas.Atlas, memo map[[2]int][]int, i1, i2 int, c1, c2 *ispContext, src, dst int) int {
+func choosePeerHub(a *atlas.Atlas, memo *par.Memo[[2]int, []int], i1, i2 int, c1, c2 *ispContext, src, dst int) int {
 	key := [2]int{i1, i2}
 	if i1 > i2 {
 		key = [2]int{i2, i1}
 	}
-	hubs, ok := memo[key]
-	if !ok {
+	hubs := memo.Do(key, func() []int {
 		in2 := make(map[int]bool, len(c2.nodes))
 		for _, n := range c2.nodes {
 			in2[n] = true
@@ -234,9 +307,8 @@ func choosePeerHub(a *atlas.Atlas, memo map[[2]int][]int, i1, i2 int, c1, c2 *is
 		if len(common) > 4 {
 			common = common[:4]
 		}
-		memo[key] = common
-		hubs = common
-	}
+		return common
+	})
 	if len(hubs) == 0 {
 		return -1
 	}
@@ -305,12 +377,13 @@ func (c *Campaign) synthesizeTwo(rng *rand.Rand, ctx1, ctx2 *ispContext, src, ds
 	return out
 }
 
-// overlay attributes one trace's visible hop pairs to published
-// conduits using only hop names and the published map, then scores the
-// attribution against ground truth.
-func (c *Campaign) overlay(t Trace, mg *graph.Graph, cityNode []int, memo map[pathKey][]fiber.ConduitID) {
+// attribute maps one trace's visible hop pairs onto published
+// conduits using only hop names and the published map, and scores
+// each attribution against ground truth. It mutates nothing on the
+// campaign: the counter updates happen in apply, on the reducing
+// goroutine.
+func (c *Campaign) attribute(t Trace, mg *graph.Graph, cityNode []int, memo *par.Memo[pathKey, []fiber.ConduitID]) (attrs []segAttr, misses int) {
 	m := c.res.Map
-	westEast := t.WestToEast(c)
 
 	// Decode the hops a measurement study could decode.
 	type decoded struct {
@@ -336,39 +409,50 @@ func (c *Campaign) overlay(t Trace, mg *graph.Graph, cityNode []int, memo map[pa
 		isp := b.isp // the far end's provider owns the segment
 		conduits := c.segmentConduits(a.city, b.city, isp, mg, cityNode, memo)
 		if conduits == nil {
-			c.Unattributed++
+			misses++
 			continue
 		}
 		for _, cid := range conduits {
-			dc := c.ConduitProbes[cid]
-			if dc == nil {
-				dc = &DirCounts{}
-				c.ConduitProbes[cid] = dc
-			}
-			if westEast {
-				dc.WestEast++
-			} else {
-				dc.EastWest++
-			}
-			byISP := c.ISPConduits[isp]
-			if byISP == nil {
-				byISP = make(map[fiber.ConduitID]int64)
-				c.ISPConduits[isp] = byISP
-			}
-			byISP[cid]++
-			tenants := c.InferredTenants[cid]
-			if tenants == nil {
-				tenants = make(map[string]bool)
-				c.InferredTenants[cid] = tenants
-			}
-			tenants[isp] = true
+			attrs = append(attrs, segAttr{
+				cid: cid, isp: isp,
+				// Ground-truth scoring: did the overlay put the probe
+				// in a conduit the provider actually occupies?
+				correct: c.truthByName[isp][m.Conduit(cid).Corridor],
+			})
+		}
+	}
+	return attrs, misses
+}
 
-			// Ground-truth scoring: did the overlay put the probe in a
-			// conduit the provider actually occupies?
-			c.AttributionChecked++
-			if c.truthByName[isp][m.Conduit(cid).Corridor] {
-				c.AttributionCorrect++
-			}
+// apply folds one trace's attributions into the campaign counters.
+func (c *Campaign) apply(westEast bool, attrs []segAttr, misses int) {
+	c.Unattributed += int64(misses)
+	for _, at := range attrs {
+		dc := c.ConduitProbes[at.cid]
+		if dc == nil {
+			dc = &DirCounts{}
+			c.ConduitProbes[at.cid] = dc
+		}
+		if westEast {
+			dc.WestEast++
+		} else {
+			dc.EastWest++
+		}
+		byISP := c.ISPConduits[at.isp]
+		if byISP == nil {
+			byISP = make(map[fiber.ConduitID]int64)
+			c.ISPConduits[at.isp] = byISP
+		}
+		byISP[at.cid]++
+		tenants := c.InferredTenants[at.cid]
+		if tenants == nil {
+			tenants = make(map[string]bool)
+			c.InferredTenants[at.cid] = tenants
+		}
+		tenants[at.isp] = true
+		c.AttributionChecked++
+		if at.correct {
+			c.AttributionCorrect++
 		}
 	}
 }
@@ -378,34 +462,37 @@ func (c *Campaign) overlay(t Trace, mg *graph.Graph, cityNode []int, memo map[pa
 // conduit (the provider may be absent from the published map
 // entirely — that is how "additional ISPs" are discovered). A nil
 // return means the segment cannot be attributed.
-func (c *Campaign) segmentConduits(cityA, cityB int, isp string, mg *graph.Graph, cityNode []int, memo map[pathKey][]fiber.ConduitID) []fiber.ConduitID {
+func (c *Campaign) segmentConduits(cityA, cityB int, isp string, mg *graph.Graph, cityNode []int, memo *par.Memo[pathKey, []fiber.ConduitID]) []fiber.ConduitID {
 	idx, ok := c.ispIndex[isp]
 	if !ok {
-		idx = len(c.ispIndex)
-		c.ispIndex[isp] = idx
+		// A provider outside the pre-assigned index set (possible only
+		// for external corpora): compute uncached rather than have
+		// racing workers grow the index map.
+		return c.computeSegmentConduits(cityA, cityB, isp, mg, cityNode)
 	}
 	key := pathKey{isp: idx, a: cityA, b: cityB}
-	if v, ok := memo[key]; ok {
-		return v
-	}
+	return memo.Do(key, func() []fiber.ConduitID {
+		return c.computeSegmentConduits(cityA, cityB, isp, mg, cityNode)
+	})
+}
+
+func (c *Campaign) computeSegmentConduits(cityA, cityB int, isp string, mg *graph.Graph, cityNode []int) []fiber.ConduitID {
 	m := c.res.Map
-	var out []fiber.ConduitID
 	na, nb := cityNode[cityA], cityNode[cityB]
 	if na < 0 || nb < 0 {
-		memo[key] = nil
 		return nil
 	}
 	path, ok := mg.ShortestPath(na, nb, m.TenantWeight(isp))
 	if !ok {
 		path, ok = mg.ShortestPath(na, nb, m.LitWeight())
 	}
-	if ok {
-		out = make([]fiber.ConduitID, len(path.Edges))
-		for i, eid := range path.Edges {
-			out[i] = fiber.ConduitID(eid)
-		}
+	if !ok {
+		return nil
 	}
-	memo[key] = out
+	out := make([]fiber.ConduitID, len(path.Edges))
+	for i, eid := range path.Edges {
+		out[i] = fiber.ConduitID(eid)
+	}
 	return out
 }
 

@@ -43,6 +43,10 @@ type Options struct {
 	// RetainTraces keeps this many raw traces for inspection
 	// (default 64).
 	RetainTraces int
+	// Workers bounds the worker pool for per-probe routing and
+	// attribution (<= 0 means all CPUs). Campaign results are
+	// bit-identical for any value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

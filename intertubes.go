@@ -57,6 +57,13 @@ type Options struct {
 	ColocationBufferKm float64
 	// LatencyMaxPairs caps the §5.3 study size (default 3000).
 	LatencyMaxPairs int
+	// Workers bounds the worker pool shared by the parallel analysis
+	// stages — the §3 co-location overlap, the §4.3 campaign, the
+	// §5.2 conduit sweep, and the §5.3 latency study. 0 means all
+	// CPUs; 1 forces serial execution. Every stage produces
+	// bit-identical results for any value (see DESIGN.md, "Parallel
+	// execution").
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -132,8 +139,9 @@ func (s *Study) RiskMatrix() *risk.Matrix { return s.mx }
 func (s *Study) Campaign() *traceroute.Campaign {
 	if s.camp == nil {
 		s.camp = traceroute.Run(s.res, traceroute.Options{
-			N:    s.opts.Probes,
-			Seed: s.opts.Seed + 2,
+			N:       s.opts.Probes,
+			Seed:    s.opts.Seed + 2,
+			Workers: s.opts.Workers,
 		})
 	}
 	return s.camp
@@ -144,6 +152,7 @@ func (s *Study) Latency() []mitigate.PairLatency {
 	if s.lat == nil {
 		s.lat = mitigate.LatencyStudy(s.res.Map, s.res.Atlas, mitigate.LatencyOptions{
 			MaxPairs: s.opts.LatencyMaxPairs,
+			Workers:  s.opts.Workers,
 		})
 	}
 	return s.lat
@@ -166,7 +175,10 @@ func (s *Study) Robustness() []mitigate.ISPRobustness {
 // Additions runs (once) the §5.2 k-new-conduits sweep.
 func (s *Study) Additions() *mitigate.AddResult {
 	if s.add == nil {
-		s.add = mitigate.AddConduits(s.res.Map, s.mx, mitigate.AddOptions{K: s.opts.AddConduits})
+		s.add = mitigate.AddConduits(s.res.Map, s.mx, mitigate.AddOptions{
+			K:       s.opts.AddConduits,
+			Workers: s.opts.Workers,
+		})
 	}
 	return s.add
 }
@@ -179,13 +191,15 @@ func (s *Study) Colocation() []geo.Colocation {
 			"road": s.res.Atlas.RoadPolylines(),
 			"rail": s.res.Atlas.RailPolylines(),
 		}, geo.OverlapOptions{BufferKm: s.opts.ColocationBufferKm})
+		var paths []geo.Polyline
 		for i := range s.res.Map.Conduits {
 			c := &s.res.Map.Conduits[i]
 			if len(c.Tenants) == 0 {
 				continue
 			}
-			s.colo = append(s.colo, an.Analyze(c.Path))
+			paths = append(paths, c.Path)
 		}
+		s.colo = an.AnalyzeAll(paths, s.opts.Workers)
 	}
 	return s.colo
 }
@@ -423,7 +437,10 @@ func (s *Study) RenderFigure11() string {
 	}
 	sort.Slice(isps, func(i, j int) bool {
 		si, sj := add.Improvement[isps[i]], add.Improvement[isps[j]]
-		return si[len(si)-1] > sj[len(sj)-1]
+		if si[len(si)-1] != sj[len(sj)-1] {
+			return si[len(si)-1] > sj[len(sj)-1]
+		}
+		return isps[i] < isps[j] // tie-break: render must be deterministic
 	})
 	for _, isp := range isps {
 		row := []any{isp}
