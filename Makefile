@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the full pre-merge gate: vet, build, tests, race detector.
+verify:
+	sh scripts/verify.sh
+
+# bench runs the benchmark suite and writes BENCH_obs.json.
+bench:
+	sh scripts/bench.sh
+
+clean:
+	rm -f BENCH_obs.json

@@ -1,0 +1,124 @@
+// Command benchjson converts the test2json stream of a
+// `go test -bench -json` run into a compact machine-readable summary:
+// one record per benchmark with its iteration count and every
+// reported metric (ns/op, B/op, allocs/op, custom units).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -json ./... | benchjson -o BENCH_obs.json
+//
+// scripts/bench.sh wraps exactly that pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's record we consume.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package string             `json:"package"`
+	Name    string             `json:"name"`
+	N       int64              `json:"n"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Summary is the file benchjson writes.
+type Summary struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, errOut io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "BENCH_obs.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sum, err := parseStream(in)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(sum, "", " ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "benchjson: %d benchmarks -> %s\n", len(sum.Benchmarks), *out)
+	return nil
+}
+
+// parseStream reads a test2json stream and collects every benchmark
+// result line. Non-JSON lines (plain `go test` output piped in by
+// mistake) are tolerated: they are scanned as bare text.
+func parseStream(in io.Reader) (*Summary, error) {
+	sum := &Summary{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			ev = event{Action: "output", Output: line}
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		if r, ok := parseBenchLine(ev.Package, ev.Output); ok {
+			sum.Benchmarks = append(sum.Benchmarks, r)
+		}
+	}
+	return sum, sc.Err()
+}
+
+// parseBenchLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   120   9876543 ns/op   456 B/op   7 allocs/op
+//
+// returning ok=false for anything else (headers, PASS lines, logs).
+func parseBenchLine(pkg, line string) (Result, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Package: pkg, Name: fields[0], N: n, Metrics: map[string]float64{}}
+	// Remaining fields come in (value, unit) pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[rest[i+1]] = v
+	}
+	return r, true
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("intertubes",
+		"BenchmarkFigure1_MapConstruction-8 \t     120\t   9876543 ns/op\t  456 B/op\t   7 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkFigure1_MapConstruction-8" || r.N != 120 {
+		t.Errorf("parsed = %+v", r)
+	}
+	want := map[string]float64{"ns/op": 9876543, "B/op": 456, "allocs/op": 7}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken-8",     // no fields
+		"BenchmarkOdd-8 10 123", // dangling value without unit
+		"BenchmarkBadN-8 ten 123 ns/op",
+		"ok  \tintertubes\t1.2s",
+	} {
+		if _, ok := parseBenchLine("p", line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"intertubes"}`,
+		`{"Action":"output","Package":"intertubes","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"intertubes","Output":"BenchmarkA-4   100   50000 ns/op\n"}`,
+		`{"Action":"output","Package":"intertubes/internal/par","Output":"BenchmarkB-4   7   1.5 items/s\n"}`,
+		`{"Action":"pass","Package":"intertubes"}`,
+		`not json at all`,
+	}, "\n")
+	sum, err := parseStream(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d", len(sum.Benchmarks))
+	}
+	if sum.Benchmarks[0].Name != "BenchmarkA-4" || sum.Benchmarks[0].Metrics["ns/op"] != 50000 {
+		t.Errorf("first = %+v", sum.Benchmarks[0])
+	}
+	if sum.Benchmarks[1].Package != "intertubes/internal/par" {
+		t.Errorf("second package = %q", sum.Benchmarks[1].Package)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	stream := `{"Action":"output","Package":"p","Output":"BenchmarkX-2 5 100 ns/op\n"}`
+	var errBuf strings.Builder
+	if err := run([]string{"-o", out}, strings.NewReader(stream), &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(sum.Benchmarks) != 1 || sum.Benchmarks[0].Name != "BenchmarkX-2" {
+		t.Errorf("summary = %+v", sum)
+	}
+	if !strings.Contains(errBuf.String(), "1 benchmarks") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}

@@ -5,82 +5,139 @@
 // Usage:
 //
 //	fibermapd [-addr :8080] [-seed 42] [-probes 100000]
+//	          [-log-level info] [-v] [-timings] [-debug-addr :6060]
 //
 // The server builds the full study at startup (a few seconds) and then
 // serves immutable results; SIGINT/SIGTERM drain connections
-// gracefully.
+// gracefully. -timings prints the per-stage build report after the
+// study is ready; -debug-addr starts a second listener with pprof,
+// expvar, and the Prometheus metrics.
 package main
 
 import (
 	"context"
 	"errors"
-	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"intertubes"
+	"intertubes/internal/obs"
 	"intertubes/internal/server"
+
+	"expvar"
+	"flag"
+
+	"intertubes"
 )
 
 func main() {
-	logger := log.New(os.Stderr, "fibermapd ", log.LstdFlags)
-	srv, err := setup(os.Args[1:], logger)
+	logger := obs.Logger("fibermapd")
+	srv, debugSrv, err := setup(os.Args[1:], logger)
 	if err != nil {
-		logger.Fatal(err)
+		logger.Error("setup failed", "err", err)
+		os.Exit(1)
 	}
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
-		logger.Printf("listening on %s", srv.Addr)
+		logger.Info("listening", "addr", srv.Addr)
 		errCh <- srv.ListenAndServe()
 	}()
+	if debugSrv != nil {
+		go func() {
+			logger.Info("debug listener up", "addr", debugSrv.Addr)
+			errCh <- debugSrv.ListenAndServe()
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		logger.Printf("received %s, draining...", sig)
+		logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			logger.Printf("shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
+		}
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(ctx)
 		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			logger.Fatalf("serve: %v", err)
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
 	}
 }
 
-// setup parses flags, builds the study, and returns a configured but
-// not-yet-listening server.
-func setup(args []string, logger *log.Logger) (*http.Server, error) {
+// setup parses flags, builds the study, and returns the configured but
+// not-yet-listening API server plus, when -debug-addr is set, a debug
+// server exposing pprof, expvar, and /metrics.
+func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, error) {
 	fs := flag.NewFlagSet("fibermapd", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		seed    = fs.Int64("seed", 42, "study seed")
-		probes  = fs.Int("probes", 100000, "traceroute campaign size")
-		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		seed      = fs.Int64("seed", 42, "study seed")
+		probes    = fs.Int("probes", 100000, "traceroute campaign size")
+		workers   = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose   = fs.Bool("v", false, "shorthand for -log-level debug")
+		timings   = fs.Bool("timings", false, "print the per-stage build report after the study is built")
+		debugAddr = fs.String("debug-addr", "", "optional listen address for pprof/expvar/metrics (e.g. :6060); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if err := obs.ConfigureLogging(*verbose, *logLevel); err != nil {
+		return nil, nil, err
 	}
 
-	logger.Printf("building study (seed %d)...", *seed)
+	logger.Info("building study", "seed", *seed, "probes", *probes)
 	start := time.Now()
 	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes, Workers: *workers})
 	handler := server.New(study, logger)
-	logger.Printf("study ready in %s", time.Since(start).Round(time.Millisecond))
+	logger.Info("study ready", "elapsed", time.Since(start).Round(time.Millisecond))
+	if *timings {
+		fmt.Fprint(os.Stderr, study.BuildReport())
+	}
 
-	return &http.Server{
+	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
-	}, nil
+	}
+	return srv, debugServer(*debugAddr), nil
+}
+
+// debugServer wires the opt-in diagnostics listener: net/http/pprof,
+// the expvar JSON dump, and the Prometheus exposition. Kept off the
+// API listener so operators can firewall it separately.
+func debugServer(addr string) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w)
+	})
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
 }

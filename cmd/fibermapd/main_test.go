@@ -2,20 +2,30 @@ package main
 
 import (
 	"io"
-	"log"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"intertubes/internal/obs"
 )
 
+func quietLogger(t *testing.T) {
+	t.Helper()
+	obs.SetOutput(io.Discard)
+	t.Cleanup(func() { obs.SetOutput(nil) })
+}
+
 func TestSetup(t *testing.T) {
-	logger := log.New(io.Discard, "", 0)
-	srv, err := setup([]string{"-addr", ":9999", "-probes", "2000"}, logger)
+	quietLogger(t)
+	srv, debugSrv, err := setup([]string{"-addr", ":9999", "-probes", "2000"}, obs.Logger("test"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if srv.Addr != ":9999" {
 		t.Errorf("addr = %q", srv.Addr)
+	}
+	if debugSrv != nil {
+		t.Error("debug server should be nil without -debug-addr")
 	}
 	// The wired handler serves without listening on a real port.
 	ts := httptest.NewServer(srv.Handler)
@@ -32,7 +42,28 @@ func TestSetup(t *testing.T) {
 }
 
 func TestSetupBadFlags(t *testing.T) {
-	if _, err := setup([]string{"-bogus"}, log.New(io.Discard, "", 0)); err == nil {
+	quietLogger(t)
+	if _, _, err := setup([]string{"-bogus"}, obs.Logger("test")); err == nil {
 		t.Error("expected flag error")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	quietLogger(t)
+	srv := debugServer(":0")
+	if srv == nil {
+		t.Fatal("expected a debug server")
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s = %d", path, resp.StatusCode)
+		}
 	}
 }

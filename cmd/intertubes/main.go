@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"intertubes"
+	"intertubes/internal/obs"
 )
 
 func main() {
@@ -31,16 +32,22 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("intertubes", flag.ContinueOnError)
 	var (
-		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
-		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
-		all     = fs.Bool("all", false, "render every table and figure of the paper")
-		table1  = fs.Bool("table1", false, "render Table 1 (per-ISP nodes and links)")
-		step3   = fs.Bool("step3", false, "render the step-3 POP-only additions")
-		fig4    = fs.Bool("fig4", false, "render Figure 4 (transportation co-location)")
-		export  = fs.String("export", "", "write GeoJSON layers into this directory")
-		dataset = fs.String("dataset", "", "write the map dataset (text format) to this file")
+		seed     = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers  = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		all      = fs.Bool("all", false, "render every table and figure of the paper")
+		table1   = fs.Bool("table1", false, "render Table 1 (per-ISP nodes and links)")
+		step3    = fs.Bool("step3", false, "render the step-3 POP-only additions")
+		fig4     = fs.Bool("fig4", false, "render Figure 4 (transportation co-location)")
+		export   = fs.String("export", "", "write GeoJSON layers into this directory")
+		dataset  = fs.String("dataset", "", "write the map dataset (text format) to this file")
+		logLevel = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose  = fs.Bool("v", false, "shorthand for -log-level debug")
+		timings  = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obs.ConfigureLogging(*verbose, *logLevel); err != nil {
 		return err
 	}
 
@@ -78,6 +85,9 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("dataset: %w", err)
 		}
 		fmt.Fprintf(out, "wrote map dataset to %s\n", *dataset)
+	}
+	if *timings {
+		fmt.Fprint(out, study.BuildReport())
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"intertubes"
+	"intertubes/internal/obs"
 )
 
 func main() {
@@ -30,15 +31,21 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mitigate", flag.ContinueOnError)
 	var (
-		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
-		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
-		k       = fs.Int("k", 10, "number of new conduits for the Figure 11 sweep")
-		fig10   = fs.Bool("fig10", false, "Figure 10: path inflation and shared-risk reduction")
-		table5  = fs.Bool("table5", false, "Table 5: suggested peerings")
-		fig11   = fs.Bool("fig11", false, "Figure 11: improvement vs conduits added")
-		fig12   = fs.Bool("fig12", false, "Figure 12: latency CDFs and proposed ROW builds")
+		seed     = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers  = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		k        = fs.Int("k", 10, "number of new conduits for the Figure 11 sweep")
+		fig10    = fs.Bool("fig10", false, "Figure 10: path inflation and shared-risk reduction")
+		table5   = fs.Bool("table5", false, "Table 5: suggested peerings")
+		fig11    = fs.Bool("fig11", false, "Figure 11: improvement vs conduits added")
+		fig12    = fs.Bool("fig12", false, "Figure 12: latency CDFs and proposed ROW builds")
+		logLevel = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose  = fs.Bool("v", false, "shorthand for -log-level debug")
+		timings  = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obs.ConfigureLogging(*verbose, *logLevel); err != nil {
 		return err
 	}
 
@@ -54,5 +61,8 @@ func run(args []string, out io.Writer) error {
 	show(*table5, study.RenderTable5)
 	show(*fig11, study.RenderFigure11)
 	show(*fig12, study.RenderFigure12)
+	if *timings {
+		fmt.Fprint(out, study.BuildReport())
+	}
 	return nil
 }

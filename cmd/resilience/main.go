@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"intertubes"
+	"intertubes/internal/obs"
 )
 
 func main() {
@@ -27,14 +28,23 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("resilience", flag.ContinueOnError)
 	var (
-		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
-		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
-		k       = fs.Int("k", 8, "number of conduits to cut in the strategy comparison")
+		seed     = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers  = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		k        = fs.Int("k", 8, "number of conduits to cut in the strategy comparison")
+		logLevel = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose  = fs.Bool("v", false, "shorthand for -log-level debug")
+		timings  = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := obs.ConfigureLogging(*verbose, *logLevel); err != nil {
+		return err
+	}
 	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Workers: *workers})
 	fmt.Fprintln(out, study.RenderResilience(*k))
+	if *timings {
+		fmt.Fprint(out, study.BuildReport())
+	}
 	return nil
 }

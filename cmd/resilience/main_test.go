@@ -16,3 +16,21 @@ func TestRun(t *testing.T) {
 		}
 	}
 }
+
+func TestRunTimings(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-k", "2", "-timings"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"stage", "wall", "study.resilience"} {
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("timings output missing %q", marker)
+		}
+	}
+}
+
+func TestRunBadLogLevel(t *testing.T) {
+	if err := run([]string{"-log-level", "shouting"}, &strings.Builder{}); err == nil {
+		t.Error("expected error for unknown log level")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"intertubes"
+	"intertubes/internal/obs"
 )
 
 func main() {
@@ -29,18 +30,24 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("riskreport", flag.ContinueOnError)
 	var (
-		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
-		probes  = fs.Int("probes", 200000, "traceroute campaign size")
-		workers = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
-		fig6    = fs.Bool("fig6", false, "Figure 6: conduits shared by >= k ISPs")
-		fig7    = fs.Bool("fig7", false, "Figure 7: per-ISP average sharing")
-		fig8    = fs.Bool("fig8", false, "Figure 8: Hamming-distance heat map")
-		fig9    = fs.Bool("fig9", false, "Figure 9: sharing CDF with traffic overlay")
-		table2  = fs.Bool("table2", false, "Table 2: top west-to-east conduits")
-		table3  = fs.Bool("table3", false, "Table 3: top east-to-west conduits")
-		table4  = fs.Bool("table4", false, "Table 4: top ISPs by conduits carrying probes")
+		seed     = fs.Int64("seed", 42, "study seed (deterministic)")
+		probes   = fs.Int("probes", 200000, "traceroute campaign size")
+		workers  = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		fig6     = fs.Bool("fig6", false, "Figure 6: conduits shared by >= k ISPs")
+		fig7     = fs.Bool("fig7", false, "Figure 7: per-ISP average sharing")
+		fig8     = fs.Bool("fig8", false, "Figure 8: Hamming-distance heat map")
+		fig9     = fs.Bool("fig9", false, "Figure 9: sharing CDF with traffic overlay")
+		table2   = fs.Bool("table2", false, "Table 2: top west-to-east conduits")
+		table3   = fs.Bool("table3", false, "Table 3: top east-to-west conduits")
+		table4   = fs.Bool("table4", false, "Table 4: top ISPs by conduits carrying probes")
+		logLevel = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose  = fs.Bool("v", false, "shorthand for -log-level debug")
+		timings  = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obs.ConfigureLogging(*verbose, *logLevel); err != nil {
 		return err
 	}
 
@@ -59,5 +66,8 @@ func run(args []string, out io.Writer) error {
 	show(*table2, study.RenderTable2)
 	show(*table3, study.RenderTable3)
 	show(*table4, study.RenderTable4)
+	if *timings {
+		fmt.Fprint(out, study.BuildReport())
+	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"intertubes"
+	"intertubes/internal/obs"
 )
 
 func main() {
@@ -29,13 +30,19 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		seed    = fs.Int64("seed", 42, "study seed (deterministic)")
-		workers = fs.Int("workers", 0, "worker pool for the campaign (0 = all CPUs; results identical)")
-		n       = fs.Int("n", 100000, "number of traceroutes to synthesize")
-		samples = fs.Int("samples", 3, "raw traces to print")
-		asText  = fs.Bool("text", false, "print samples in parseable traceroute text format")
+		seed     = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers  = fs.Int("workers", 0, "worker pool for the campaign (0 = all CPUs; results identical)")
+		n        = fs.Int("n", 100000, "number of traceroutes to synthesize")
+		samples  = fs.Int("samples", 3, "raw traces to print")
+		asText   = fs.Bool("text", false, "print samples in parseable traceroute text format")
+		logLevel = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose  = fs.Bool("v", false, "shorthand for -log-level debug")
+		timings  = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obs.ConfigureLogging(*verbose, *logLevel); err != nil {
 		return err
 	}
 
@@ -75,6 +82,9 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %2d  %-40s %6.2f ms\n", h+1, name, hop.RTTms)
 		}
 		fmt.Fprintln(out)
+	}
+	if *timings {
+		fmt.Fprint(out, study.BuildReport())
 	}
 	return nil
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// log.go is the shared structured-logging plumbing: one process-wide
+// slog handler (text, stderr by default) behind a dynamic level, so
+// every cmd/ main and internal/server log through the same pipe and
+// -v / -log-level work uniformly.
+
+var (
+	logMu    sync.Mutex
+	logLevel = new(slog.LevelVar) // defaults to Info
+	logOut   io.Writer
+	root     *slog.Logger
+)
+
+func init() {
+	logOut = os.Stderr
+	rebuildLocked()
+}
+
+func rebuildLocked() {
+	root = slog.New(slog.NewTextHandler(logOut, &slog.HandlerOptions{Level: logLevel}))
+}
+
+// Logger returns a logger tagged with the given component name,
+// writing through the shared handler.
+func Logger(component string) *slog.Logger {
+	logMu.Lock()
+	defer logMu.Unlock()
+	return root.With("component", component)
+}
+
+// SetLevel changes the shared handler's level at runtime.
+func SetLevel(l slog.Level) { logLevel.Set(l) }
+
+// Level returns the current shared level.
+func Level() slog.Level { return logLevel.Level() }
+
+// SetOutput redirects the shared handler (tests, or CLIs logging to a
+// file); nil restores stderr. Loggers obtained after the call use the
+// new destination.
+func SetOutput(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if w == nil {
+		w = os.Stderr
+	}
+	logOut = w
+	rebuildLocked()
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return slog.LevelInfo, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// ConfigureLogging applies the shared -v / -log-level CLI convention:
+// verbose forces debug, otherwise the named level applies.
+func ConfigureLogging(verbose bool, level string) error {
+	if verbose {
+		SetLevel(slog.LevelDebug)
+		return nil
+	}
+	l, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	SetLevel(l)
+	return nil
+}

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics.go implements the registry: named metric families holding
+// counters, gauges, or histograms, each instantiated per label set.
+// Callers resolve a metric once (one mutex acquisition) and then
+// observe through atomics only.
+
+// Label is one name/value pair attached to a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be non-negative for Prometheus
+// semantics; this is not enforced).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket-layout histogram. The bucket bounds are
+// set at family creation and never change, so Observe is a binary
+// search plus two atomic adds.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	sumB   atomic.Uint64 // float64 bits of the running sum
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumB.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumB.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumB.Load()) }
+
+// DurationBuckets is the fixed layout for latency histograms, in
+// seconds.
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// SizeBuckets is the fixed layout for byte-size histograms.
+var SizeBuckets = []float64{
+	256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with instances per label set.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histograms only
+
+	mu        sync.Mutex
+	instances map[string]any // label signature -> *Counter | *Gauge | *Histogram
+}
+
+// Registry holds metric families. The zero value is not usable; use
+// NewRegistry or the package-level Default.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-global registry: the one /metrics serves and
+// every package-level constructor fills.
+var Default = NewRegistry()
+
+func (r *Registry) family(name, help string, kind metricKind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{
+			name: name, help: help, kind: kind, bounds: bounds,
+			instances: make(map[string]any),
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// signature renders labels into a canonical, sorted Prometheus label
+// string ("" for none).
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	// %q already escapes backslashes and quotes; newlines too.
+	return v
+}
+
+func (f *family) instance(labels []Label, make func() any) any {
+	sig := signature(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.instances[sig]; ok {
+		return m
+	}
+	m := make()
+	f.instances[sig] = m
+	return m
+}
+
+// Counter returns (creating if needed) the counter instance for the
+// given label set.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, kindCounter, nil)
+	return f.instance(labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns (creating if needed) the gauge instance for the given
+// label set.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, kindGauge, nil)
+	return f.instance(labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns (creating if needed) the histogram instance for
+// the given label set. The bucket layout is fixed at family creation;
+// later calls may pass nil bounds to reuse it.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	f := r.family(name, help, kindHistogram, bounds)
+	return f.instance(labels, func() any {
+		return &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+	}).(*Histogram)
+}
+
+// GetCounter, GetGauge, and GetHistogram resolve against Default.
+func GetCounter(name, help string, labels ...Label) *Counter {
+	return Default.Counter(name, help, labels...)
+}
+
+// GetGauge resolves a gauge in the Default registry.
+func GetGauge(name, help string, labels ...Label) *Gauge {
+	return Default.Gauge(name, help, labels...)
+}
+
+// GetHistogram resolves a histogram in the Default registry.
+func GetHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return Default.Histogram(name, help, bounds, labels...)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), families and label sets in
+// sorted order so the output is stable.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		sigs := make([]string, 0, len(f.instances))
+		for sig := range f.instances {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, sig := range sigs {
+			switch m := f.instances[sig].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, sig, m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, sig, formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogram(w, f.name, sig, m)
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+func writeHistogram(w io.Writer, name, sig string, h *Histogram) {
+	// Merge the le label into an existing label set.
+	withLE := func(le string) string {
+		if sig == "" {
+			return `{le="` + le + `"}`
+		}
+		return sig[:len(sig)-1] + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sig, h.Count())
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the Default registry.
+func WritePrometheus(w io.Writer) { Default.WritePrometheus(w) }
+
+// expvar exposure: importing obs publishes the whole Default registry
+// as one expvar string ("intertubes_metrics", Prometheus text) so the
+// standard /debug/vars surface carries it for free.
+func init() {
+	expvar.Publish("intertubes_metrics", expvar.Func(func() any {
+		var b strings.Builder
+		Default.WritePrometheus(&b)
+		return b.String()
+	}))
+}

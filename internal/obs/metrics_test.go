@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if g.Value() != 2.0 {
+		t.Errorf("gauge = %g, want 2", g.Value())
+	}
+	// Same name+labels resolves to the same instance.
+	if r.Counter("test_total", "help") != c {
+		t.Error("counter not deduplicated")
+	}
+}
+
+func TestCounterLabelsSeparateInstances(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "h", L("route", "/a"))
+	b := r.Counter("reqs_total", "h", L("route", "/b"))
+	if a == b {
+		t.Fatal("different labels must be different instances")
+	}
+	a.Add(3)
+	b.Add(7)
+	var out strings.Builder
+	r.WritePrometheus(&out)
+	s := out.String()
+	for _, want := range []string{
+		`reqs_total{route="/a"} 3`,
+		`reqs_total{route="/b"} 7`,
+		"# TYPE reqs_total counter",
+		"# HELP reqs_total h",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("exposition missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLabelSignatureSorted(t *testing.T) {
+	// Label order must not matter for identity.
+	r := NewRegistry()
+	a := r.Counter("m_total", "h", L("x", "1"), L("a", "2"))
+	b := r.Counter("m_total", "h", L("a", "2"), L("x", "1"))
+	if a != b {
+		t.Error("label order changed metric identity")
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 56.05 {
+		t.Errorf("sum = %g", got)
+	}
+	var out strings.Builder
+	r.WritePrometheus(&out)
+	s := out.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("exposition missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHistogramWithLabelsMergesLE(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "h", []float64{1}, L("route", "/x"))
+	h.Observe(0.5)
+	var out strings.Builder
+	r.WritePrometheus(&out)
+	if !strings.Contains(out.String(), `d_seconds_bucket{route="/x",le="1"} 1`) {
+		t.Errorf("le label not merged:\n%s", out.String())
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	h := r.Histogram("h_seconds", "h", []float64{0.5})
+	g := r.Gauge("g", "h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || g.Value() != 8000 {
+		t.Errorf("lost updates: c=%d h=%d g=%g", c.Value(), h.Count(), g.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "h")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual", "h")
+}

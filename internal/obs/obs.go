@@ -1,0 +1,15 @@
+// Package obs is the zero-dependency observability layer for the
+// reproduction: a stage/span tracer feeding a process-global sink
+// (rendered by Study.BuildReport and served at /api/buildreport), a
+// metrics registry (counters, gauges, fixed-bucket histograms) exposed
+// in Prometheus text format and via expvar, and the shared
+// log/slog-based structured-logging handler used by internal/server
+// and every cmd/ main.
+//
+// Everything here is observational: instrumentation reads clocks and
+// bumps atomics but never feeds a value back into an analysis, so the
+// deterministic outputs pinned by the serial-equivalence suite are
+// unchanged (see DESIGN.md, "Instrumentation"). Hot paths touch only
+// atomic counters — the registry mutex is paid at metric creation, not
+// per observation.
+package obs

@@ -28,6 +28,30 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"intertubes/internal/obs"
+)
+
+// Pool metrics: observational only — the chunk grid, the per-chunk
+// rand streams, and the claim order are untouched, so instrumentation
+// cannot perturb the determinism contract. All observations are
+// atomic adds; the metric handles resolve once at package init.
+var (
+	poolRuns = obs.GetCounter("par_pool_runs_total",
+		"Invocations of the worker pool (one per parallel stage call).")
+	poolChunks = obs.GetCounter("par_chunks_executed_total",
+		"Chunks executed across all pool runs.")
+	poolItems = obs.GetCounter("par_items_total",
+		"Items processed across all pool runs.")
+	poolWorkers = obs.GetGauge("par_workers",
+		"Worker count of the most recent pool run.")
+	poolWall = obs.GetHistogram("par_run_wall_seconds",
+		"Wall time per pool run.", nil)
+	poolBusy = obs.GetHistogram("par_run_busy_seconds",
+		"Summed per-worker busy time per pool run.", nil)
+	poolQueueWait = obs.GetHistogram("par_run_queue_wait_seconds",
+		"Per-run idle capacity: workers x wall minus busy time.", nil)
 )
 
 // ChunkSize is the number of consecutive indices a worker claims at a
@@ -102,11 +126,34 @@ func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
 	if workers > nchunks {
 		workers = nchunks
 	}
+	poolRuns.Inc()
+	poolWorkers.Set(float64(workers))
+	start := time.Now()
+	var busyNanos atomic.Int64
+	run := func(c int) {
+		clo, chi := clip(c)
+		t0 := time.Now()
+		fn(c, clo, chi)
+		busyNanos.Add(int64(time.Since(t0)))
+		poolChunks.Inc()
+		poolItems.Add(int64(chi - clo))
+	}
+	finish := func() {
+		wall := time.Since(start)
+		busy := time.Duration(busyNanos.Load())
+		poolWall.Observe(wall.Seconds())
+		poolBusy.Observe(busy.Seconds())
+		if wait := wall.Seconds()*float64(workers) - busy.Seconds(); wait > 0 {
+			poolQueueWait.Observe(wait)
+		} else {
+			poolQueueWait.Observe(0)
+		}
+	}
 	if workers <= 1 {
 		for c := firstChunk; c <= lastChunk; c++ {
-			clo, chi := clip(c)
-			fn(c, clo, chi)
+			run(c)
 		}
+		finish()
 		return
 	}
 	var (
@@ -133,12 +180,12 @@ func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
 				if c > lastChunk {
 					return
 				}
-				clo, chi := clip(c)
-				fn(c, clo, chi)
+				run(c)
 			}
 		}()
 	}
 	wg.Wait()
+	finish()
 	if panicV != nil {
 		panic(panicV)
 	}

@@ -7,6 +7,8 @@
 // The API is read-only and JSON-first:
 //
 //	GET /healthz                    liveness
+//	GET /metrics                    Prometheus text exposition
+//	GET /api/buildreport            per-stage build report (see internal/obs)
 //	GET /api/stats                  map statistics (Figure 1 numbers)
 //	GET /api/isps                   provider list with footprint sizes
 //	GET /api/isps/{name}            provider detail + risk profile
@@ -18,72 +20,213 @@
 //	GET /api/annotated?limit=N      annotated map (traffic + delay per conduit)
 //	GET /api/resilience             partition costs + conduit criticality
 //	GET /geojson/{layer}            fibermap | roads | rails | pipelines | annotated
+//
+// Every request is measured (count, duration, status, bytes, per
+// route) into the internal/obs registry that /metrics serves.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"strconv"
+	"syscall"
 	"time"
 
 	"intertubes"
 	"intertubes/internal/fiber"
+	"intertubes/internal/obs"
 )
+
+// Server-side metric handles, resolved once at package init; request
+// handling touches only atomics.
+var (
+	encodeFailures = obs.GetCounter("server_json_encode_failures_total",
+		"JSON responses that failed to encode.")
+	writeFailClient = obs.GetCounter("http_write_failures_total",
+		"Response writes that failed, by cause.", obs.L("kind", "client_disconnect"))
+	writeFailServer = obs.GetCounter("http_write_failures_total",
+		"Response writes that failed, by cause.", obs.L("kind", "server"))
+	dupWriteHeaders = obs.GetCounter("http_write_header_duplicates_total",
+		"WriteHeader calls after the header was already written.")
+)
+
+// routeMetrics is the pre-resolved instrument set for one route
+// pattern (or the synthetic "unmatched" route).
+type routeMetrics struct {
+	duration *obs.Histogram
+	bytes    *obs.Histogram
+	byCode   map[int]*obs.Counter // common codes, read-only after init
+	route    string
+}
+
+func newRouteMetrics(route string) *routeMetrics {
+	rm := &routeMetrics{
+		route: route,
+		duration: obs.GetHistogram("http_request_duration_seconds",
+			"Request latency by route.", nil, obs.L("route", route)),
+		bytes: obs.GetHistogram("http_response_bytes",
+			"Response body size by route.", obs.SizeBuckets, obs.L("route", route)),
+		byCode: make(map[int]*obs.Counter),
+	}
+	for _, code := range []int{200, 400, 404, 405, 500} {
+		rm.byCode[code] = rm.requestCounter(code)
+	}
+	return rm
+}
+
+func (rm *routeMetrics) requestCounter(code int) *obs.Counter {
+	return obs.GetCounter("http_requests_total",
+		"Requests served, by route and status code.",
+		obs.L("route", rm.route), obs.L("code", strconv.Itoa(code)))
+}
+
+func (rm *routeMetrics) observe(code int, bytes int64, d time.Duration) {
+	c := rm.byCode[code]
+	if c == nil {
+		c = rm.requestCounter(code) // rare codes pay the registry lookup
+	}
+	c.Inc()
+	rm.duration.Observe(d.Seconds())
+	rm.bytes.Observe(float64(bytes))
+}
 
 // Server serves a Study. It is safe for concurrent use: the study is
 // fully materialized at construction and never mutated afterwards.
 type Server struct {
-	study *intertubes.Study
-	mux   *http.ServeMux
-	log   *log.Logger
+	study     *intertubes.Study
+	mux       *http.ServeMux
+	log       *slog.Logger
+	routes    map[string]*routeMetrics
+	unmatched *routeMetrics
 }
 
 // New builds a Server, eagerly materializing every lazy analysis the
-// endpoints need so request latency is flat.
-func New(study *intertubes.Study, logger *log.Logger) *Server {
+// endpoints need so request latency is flat. A nil logger falls back
+// to the shared obs handler.
+func New(study *intertubes.Study, logger *slog.Logger) *Server {
 	if logger == nil {
-		logger = log.Default()
+		logger = obs.Logger("server")
 	}
-	s := &Server{study: study, mux: http.NewServeMux(), log: logger}
+	s := &Server{
+		study:     study,
+		mux:       http.NewServeMux(),
+		log:       logger,
+		routes:    make(map[string]*routeMetrics),
+		unmatched: newRouteMetrics("unmatched"),
+	}
 	// Materialize lazy stages up front.
 	study.Robustness()
-	s.routes()
+	s.registerRoutes()
 	return s
 }
 
-// ServeHTTP implements http.Handler with request logging.
+// ServeHTTP implements http.Handler: every request is wrapped in a
+// statusRecorder, measured into the per-route metrics, and logged
+// through the structured logger.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	s.mux.ServeHTTP(rec, r)
-	s.log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	d := time.Since(start)
+	rm := s.routes[rec.route]
+	if rm == nil {
+		rm = s.unmatched
+	}
+	rm.observe(rec.status, rec.bytes, d)
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("route", rm.route),
+		slog.Int("status", rec.status),
+		slog.Int64("bytes", rec.bytes),
+		slog.Duration("duration", d.Round(time.Microsecond)),
+	)
 }
 
+// statusRecorder captures the response status and body size. A second
+// WriteHeader call is counted (metric + field) instead of being
+// forwarded, which would panic in net/http's superfluous-call check.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status      int
+	bytes       int64
+	wroteHeader bool
+	dupHeaders  int
+	route       string // matched mux pattern, set by the route wrapper
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	if r.wroteHeader {
+		r.dupHeaders++
+		dupWriteHeaders.Inc()
+		return
+	}
+	r.wroteHeader = true
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
 
-func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/isps", s.handleISPs)
-	s.mux.HandleFunc("GET /api/isps/{name}", s.handleISP)
-	s.mux.HandleFunc("GET /api/conduits", s.handleConduits)
-	s.mux.HandleFunc("GET /api/conduits/{id}", s.handleConduit)
-	s.mux.HandleFunc("GET /api/risk/sharing", s.handleSharing)
-	s.mux.HandleFunc("GET /api/risk/ranking", s.handleRanking)
-	s.mux.HandleFunc("GET /api/figures/{name}", s.handleFigure)
-	s.mux.HandleFunc("GET /api/annotated", s.handleAnnotated)
-	s.mux.HandleFunc("GET /api/resilience", s.handleResilience)
-	s.mux.HandleFunc("GET /geojson/{layer}", s.handleGeoJSON)
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wroteHeader {
+		// The implicit 200 the underlying writer is about to send.
+		r.wroteHeader = true
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// handle registers a handler and pre-resolves its route metrics; the
+// wrapper stamps the matched pattern onto the recorder so ServeHTTP
+// can attribute the request without consulting the mux again.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routes[pattern] = newRouteMetrics(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if rec, ok := w.(*statusRecorder); ok {
+			rec.route = pattern
+		}
+		h(w, r)
+	})
+}
+
+func (s *Server) registerRoutes() {
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /api/buildreport", s.handleBuildReport)
+	s.handle("GET /api/stats", s.handleStats)
+	s.handle("GET /api/isps", s.handleISPs)
+	s.handle("GET /api/isps/{name}", s.handleISP)
+	s.handle("GET /api/conduits", s.handleConduits)
+	s.handle("GET /api/conduits/{id}", s.handleConduit)
+	s.handle("GET /api/risk/sharing", s.handleSharing)
+	s.handle("GET /api/risk/ranking", s.handleRanking)
+	s.handle("GET /api/figures/{name}", s.handleFigure)
+	s.handle("GET /api/annotated", s.handleAnnotated)
+	s.handle("GET /api/resilience", s.handleResilience)
+	s.handle("GET /geojson/{layer}", s.handleGeoJSON)
+}
+
+// handleMetrics serves the obs registry in Prometheus text format:
+// HTTP route metrics, study stage durations, and internal/par pool
+// activity.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w)
+}
+
+// handleBuildReport serves the per-stage build report, both as
+// structured stage stats and as the rendered text table.
+func (s *Server) handleBuildReport(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]any{
+		"stages": obs.Snapshot(),
+		"report": s.study.BuildReport(),
+	})
 }
 
 // handleAnnotated serves the §8 annotated map (traffic + delay per
@@ -112,12 +255,21 @@ func (s *Server) handleResilience(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// writeJSON renders v. Encoding happens before anything reaches the
+// wire, so an encode failure still produces a clean 500 with a JSON
+// body; a failure writing the encoded bytes means headers are already
+// sent, so it is logged and counted but cannot change the response.
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	raw, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		encodeFailures.Inc()
+		s.log.Error("response encode failed", "err", err)
+		s.writeError(w, http.StatusInternalServerError, "response encoding failed")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(v); err != nil {
-		s.log.Printf("encode: %v", err)
+	if _, err := w.Write(append(raw, '\n')); err != nil {
+		s.reportWriteError(err)
 	}
 }
 
@@ -125,6 +277,37 @@ func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+// reportWriteError classifies a failed response write: a client that
+// went away is routine (debug log, client_disconnect metric); anything
+// else is a server-side problem worth an error log.
+func (s *Server) reportWriteError(err error) {
+	if err == nil {
+		return
+	}
+	if isClientDisconnect(err) {
+		writeFailClient.Inc()
+		s.log.Debug("client disconnected mid-response", "err", err)
+		return
+	}
+	writeFailServer.Inc()
+	s.log.Error("response write failed", "err", err)
+}
+
+// isClientDisconnect reports whether a response-write error was caused
+// by the peer rather than the server.
+func isClientDisconnect(err error) bool {
+	if errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, http.ErrHandlerTimeout) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return false
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -322,7 +505,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, render())
+	if _, err := fmt.Fprint(w, render()); err != nil {
+		s.reportWriteError(err)
+	}
 }
 
 func (s *Server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
@@ -350,5 +535,7 @@ func (s *Server) handleGeoJSON(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/geo+json")
-	w.Write(raw)
+	if _, err := w.Write(raw); err != nil {
+		s.reportWriteError(err)
+	}
 }

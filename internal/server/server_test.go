@@ -3,9 +3,10 @@ package server
 import (
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -13,6 +14,10 @@ import (
 )
 
 var testSrv *httptest.Server
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func srv(t *testing.T) *httptest.Server {
 	t.Helper()
@@ -22,7 +27,7 @@ func srv(t *testing.T) *httptest.Server {
 			LatencyMaxPairs: 300,
 			AddConduits:     2,
 		})
-		testSrv = httptest.NewServer(New(study, log.New(io.Discard, "", 0)))
+		testSrv = httptest.NewServer(New(study, discardLogger()))
 	}
 	return testSrv
 }
@@ -302,3 +307,180 @@ func TestAnnotatedGeoJSONLayer(t *testing.T) {
 		t.Error("annotations missing from GeoJSON properties")
 	}
 }
+
+func TestAnnotatedBadLimit(t *testing.T) {
+	resp, body := get(t, "/api/annotated?limit=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("limit=banana status = %d", resp.StatusCode)
+	}
+	if !json.Valid(body) || !strings.Contains(string(body), "error") {
+		t.Errorf("error body = %s", body)
+	}
+}
+
+// TestMetricsEndpoint checks that /metrics serves a parseable
+// Prometheus text exposition covering the HTTP layer, the study
+// stages, and the worker pool.
+func TestMetricsEndpoint(t *testing.T) {
+	// Generate at least one measured request first.
+	get(t, "/api/stats")
+	resp, body := get(t, "/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	text := string(body)
+	// Every non-comment line must be `name{labels} value` or
+	// `name value` with a parseable float — a minimal exposition
+	// format check.
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed metric line %q", line)
+		}
+		name := line[:sp]
+		if strings.ContainsAny(name[:1], "0123456789{") {
+			t.Errorf("bad metric name in %q", line)
+		}
+		if _, err := parseFloat(line[sp+1:]); err != nil {
+			t.Errorf("bad value in %q: %v", line, err)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{code="200",route="GET /api/stats"}`,
+		"# TYPE http_request_duration_seconds histogram",
+		"stage_duration_seconds_bucket",
+		`stage="study.mapbuild"`,
+		`stage="study.campaign"`,
+		"par_chunks_executed_total",
+		"par_run_wall_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+func TestBuildReportEndpoint(t *testing.T) {
+	var out struct {
+		Stages []struct {
+			Name  string `json:"name"`
+			Calls int64  `json:"calls"`
+		} `json:"stages"`
+		Report string `json:"report"`
+	}
+	resp := getJSON(t, "/api/buildreport", &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	names := make(map[string]bool)
+	for _, st := range out.Stages {
+		names[st.Name] = true
+		if st.Calls == 0 {
+			t.Errorf("stage %s has zero calls", st.Name)
+		}
+	}
+	for _, want := range []string{"study.mapbuild", "study.riskmatrix", "study.campaign", "traceroute.synthesize"} {
+		if !names[want] {
+			t.Errorf("build report missing stage %s (have %v)", want, names)
+		}
+	}
+	for _, col := range []string{"stage", "wall", "items/s", "study.campaign"} {
+		if !strings.Contains(out.Report, col) {
+			t.Errorf("rendered report missing %q", col)
+		}
+	}
+}
+
+// TestStatusRecorder exercises the satellite fixes directly: byte
+// accounting, implicit-200 capture, and duplicate WriteHeader calls
+// being swallowed and counted rather than forwarded.
+func TestStatusRecorder(t *testing.T) {
+	base := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: base, status: http.StatusOK}
+	n, err := rec.Write([]byte("hello "))
+	if err != nil || n != 6 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	rec.Write([]byte("world"))
+	if rec.bytes != 11 {
+		t.Errorf("bytes = %d", rec.bytes)
+	}
+	if !rec.wroteHeader || rec.status != http.StatusOK {
+		t.Errorf("implicit header: wrote=%v status=%d", rec.wroteHeader, rec.status)
+	}
+	// A late WriteHeader must not reach the underlying writer.
+	rec.WriteHeader(http.StatusInternalServerError)
+	rec.WriteHeader(http.StatusTeapot)
+	if rec.dupHeaders != 2 {
+		t.Errorf("dupHeaders = %d", rec.dupHeaders)
+	}
+	if rec.status != http.StatusOK || base.Code != http.StatusOK {
+		t.Errorf("status mutated: rec=%d base=%d", rec.status, base.Code)
+	}
+}
+
+func TestStatusRecorderExplicitHeader(t *testing.T) {
+	base := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: base, status: http.StatusOK}
+	rec.WriteHeader(http.StatusNotFound)
+	if rec.status != http.StatusNotFound || base.Code != http.StatusNotFound {
+		t.Errorf("status = %d / %d", rec.status, base.Code)
+	}
+	if rec.dupHeaders != 0 {
+		t.Errorf("dupHeaders = %d", rec.dupHeaders)
+	}
+}
+
+// TestWriteJSONEncodeFailure pins the satellite fix: an unencodable
+// value yields a 500 with a JSON error body (because nothing has hit
+// the wire yet) and bumps the failure counter.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	s := &Server{log: discardLogger()}
+	before := encodeFailures.Value()
+	rr := httptest.NewRecorder()
+	s.writeJSON(rr, map[string]any{"bad": make(chan int)})
+	if rr.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d", rr.Code)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("error body is not JSON: %s", rr.Body.String())
+	}
+	if out["error"] == "" {
+		t.Errorf("body = %v", out)
+	}
+	if got := encodeFailures.Value(); got != before+1 {
+		t.Errorf("encodeFailures = %d, want %d", got, before+1)
+	}
+}
+
+func TestIsClientDisconnect(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{io.ErrClosedPipe, false},
+		{http.ErrHandlerTimeout, true},
+		{errWrap{}, false},
+	}
+	for _, c := range cases {
+		if got := isClientDisconnect(c.err); got != c.want {
+			t.Errorf("isClientDisconnect(%v) = %v", c.err, got)
+		}
+	}
+}
+
+type errWrap struct{}
+
+func (errWrap) Error() string { return "opaque" }

@@ -1,6 +1,7 @@
 package traceroute
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"intertubes/internal/geo"
 	"intertubes/internal/graph"
 	"intertubes/internal/mapbuilder"
+	"intertubes/internal/obs"
 	"intertubes/internal/par"
 )
 
@@ -60,6 +62,14 @@ type segAttr struct {
 // Run synthesizes a campaign over the built map and overlays it onto
 // the published conduits.
 func Run(res *mapbuilder.Result, opts Options) *Campaign {
+	return RunCtx(context.Background(), res, opts)
+}
+
+// RunCtx is Run with a caller context, used only to parent the
+// campaign's stage spans (there is no cancellation); the three phases
+// record obs spans so a build report attributes campaign time to
+// decisions, routing/synthesis, and the ordered reduce.
+func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) *Campaign {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	a := res.Atlas
@@ -172,6 +182,7 @@ func Run(res *mapbuilder.Result, opts Options) *Campaign {
 		peer     bool
 		peerPick int
 	}
+	_, decideSpan := obs.Trace(ctx, "traceroute.decide")
 	specs := make([]probeSpec, opts.N)
 	for i := range specs {
 		sp := &specs[i]
@@ -189,6 +200,8 @@ func Run(res *mapbuilder.Result, opts Options) *Campaign {
 			sp.peerPick = rng.Intn(len(isps))
 		}
 	}
+	decideSpan.SetItems(int64(opts.N))
+	decideSpan.End()
 
 	// Phase 2: the pure per-probe kernel — route, synthesize,
 	// attribute. A zero probeOut means the probe saw no long-haul
@@ -261,16 +274,26 @@ func Run(res *mapbuilder.Result, opts Options) *Campaign {
 		if hi > opts.N {
 			hi = opts.N
 		}
-		for _, o := range par.MapSeededRange(lo, hi, opts.Workers, synthSeed, probe) {
+		_, synthSpan := obs.Trace(ctx, "traceroute.synthesize")
+		synthSpan.SetWorkers(par.Workers(opts.Workers))
+		outs := par.MapSeededRange(lo, hi, opts.Workers, synthSeed, probe)
+		synthSpan.SetItems(int64(hi - lo))
+		synthSpan.End()
+		_, reduceSpan := obs.Trace(ctx, "traceroute.reduce")
+		kept := int64(0)
+		for _, o := range outs {
 			if !o.ok {
 				continue
 			}
+			kept++
 			c.Total++
 			if len(c.Samples) < opts.RetainTraces {
 				c.Samples = append(c.Samples, o.trace)
 			}
 			c.apply(o.westEast, o.attrs, o.misses)
 		}
+		reduceSpan.SetItems(kept)
+		reduceSpan.End()
 	}
 	return c
 }

@@ -21,6 +21,7 @@
 package intertubes
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,6 +32,8 @@ import (
 	"intertubes/internal/geo"
 	"intertubes/internal/mapbuilder"
 	"intertubes/internal/mitigate"
+	"intertubes/internal/obs"
+	"intertubes/internal/par"
 	"intertubes/internal/records"
 	"intertubes/internal/report"
 	"intertubes/internal/risk"
@@ -110,6 +113,7 @@ type Study struct {
 // NewStudy builds the long-haul map (§2) and the risk matrix (§4.1).
 func NewStudy(opts Options) *Study {
 	opts = opts.withDefaults()
+	_, buildSpan := obs.Trace(context.Background(), "study.mapbuild")
 	res := mapbuilder.Build(mapbuilder.Options{
 		Seed: opts.Seed,
 		Records: records.Options{
@@ -119,10 +123,16 @@ func NewStudy(opts Options) *Study {
 			Seed:            opts.Seed + 1,
 		},
 	})
+	buildSpan.SetItems(int64(len(res.Map.Conduits)))
+	buildSpan.End()
+	_, riskSpan := obs.Trace(context.Background(), "study.riskmatrix")
+	mx := risk.Build(res.Map, nil)
+	riskSpan.SetItems(int64(len(res.Map.Conduits)))
+	riskSpan.End()
 	return &Study{
 		opts: opts,
 		res:  res,
-		mx:   risk.Build(res.Map, nil),
+		mx:   mx,
 	}
 }
 
@@ -138,11 +148,15 @@ func (s *Study) RiskMatrix() *risk.Matrix { return s.mx }
 // Campaign runs (once) and returns the §4.3 traceroute campaign.
 func (s *Study) Campaign() *traceroute.Campaign {
 	if s.camp == nil {
-		s.camp = traceroute.Run(s.res, traceroute.Options{
+		ctx, sp := obs.Trace(context.Background(), "study.campaign")
+		sp.SetWorkers(par.Workers(s.opts.Workers))
+		s.camp = traceroute.RunCtx(ctx, s.res, traceroute.Options{
 			N:       s.opts.Probes,
 			Seed:    s.opts.Seed + 2,
 			Workers: s.opts.Workers,
 		})
+		sp.SetItems(int64(s.camp.Total))
+		sp.End()
 	}
 	return s.camp
 }
@@ -150,10 +164,14 @@ func (s *Study) Campaign() *traceroute.Campaign {
 // Latency runs (once) and returns the §5.3 study.
 func (s *Study) Latency() []mitigate.PairLatency {
 	if s.lat == nil {
+		_, sp := obs.Trace(context.Background(), "study.latency")
+		sp.SetWorkers(par.Workers(s.opts.Workers))
 		s.lat = mitigate.LatencyStudy(s.res.Map, s.res.Atlas, mitigate.LatencyOptions{
 			MaxPairs: s.opts.LatencyMaxPairs,
 			Workers:  s.opts.Workers,
 		})
+		sp.SetItems(int64(len(s.lat)))
+		sp.End()
 	}
 	return s.lat
 }
@@ -167,7 +185,10 @@ func (s *Study) TargetConduits() []fiber.ConduitID { return s.mx.TopShared(12) }
 // over the target conduits.
 func (s *Study) Robustness() []mitigate.ISPRobustness {
 	if s.rob == nil {
+		_, sp := obs.Trace(context.Background(), "study.robustness")
 		s.rob = mitigate.RobustnessSuggestion(s.res.Map, s.mx, s.TargetConduits(), 3)
+		sp.SetItems(int64(len(s.rob)))
+		sp.End()
 	}
 	return s.rob
 }
@@ -175,10 +196,14 @@ func (s *Study) Robustness() []mitigate.ISPRobustness {
 // Additions runs (once) the §5.2 k-new-conduits sweep.
 func (s *Study) Additions() *mitigate.AddResult {
 	if s.add == nil {
+		_, sp := obs.Trace(context.Background(), "study.additions")
+		sp.SetWorkers(par.Workers(s.opts.Workers))
 		s.add = mitigate.AddConduits(s.res.Map, s.mx, mitigate.AddOptions{
 			K:       s.opts.AddConduits,
 			Workers: s.opts.Workers,
 		})
+		sp.SetItems(int64(len(s.add.Additions)))
+		sp.End()
 	}
 	return s.add
 }
@@ -187,6 +212,8 @@ func (s *Study) Additions() *mitigate.AddResult {
 // tenanted conduit against the road, rail, and pipeline layers.
 func (s *Study) Colocation() []geo.Colocation {
 	if s.colo == nil {
+		_, sp := obs.Trace(context.Background(), "study.colocation")
+		sp.SetWorkers(par.Workers(s.opts.Workers))
 		an := geo.NewOverlapAnalyzer(map[string][]geo.Polyline{
 			"road": s.res.Atlas.RoadPolylines(),
 			"rail": s.res.Atlas.RailPolylines(),
@@ -200,9 +227,17 @@ func (s *Study) Colocation() []geo.Colocation {
 			paths = append(paths, c.Path)
 		}
 		s.colo = an.AnalyzeAll(paths, s.opts.Workers)
+		sp.SetItems(int64(len(s.colo)))
+		sp.End()
 	}
 	return s.colo
 }
+
+// BuildReport renders the per-stage build report: wall time, share of
+// the total, items processed, and throughput for every stage recorded
+// so far (see internal/obs). Stages appear once they have run — lazy
+// stages that were never requested are absent.
+func (s *Study) BuildReport() string { return obs.Report() }
 
 // ---- Rendered artifacts, one per paper table/figure. ----
 

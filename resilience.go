@@ -1,9 +1,11 @@
 package intertubes
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"intertubes/internal/obs"
 	"intertubes/internal/report"
 	"intertubes/internal/resilience"
 )
@@ -38,6 +40,9 @@ func (s *Study) RenderResilience(k int) string {
 	if k <= 0 {
 		k = 8
 	}
+	_, sp := obs.Trace(context.Background(), "study.resilience")
+	sp.SetItems(int64(k))
+	defer sp.End()
 	var b strings.Builder
 
 	crit := s.Criticality(10)

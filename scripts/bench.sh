@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# bench.sh — run the benchmark suite and emit a machine-readable
+# summary (BENCH_obs.json) via cmd/benchjson.
+#
+# Usage:
+#   scripts/bench.sh                 # all packages, default settings
+#   BENCH=Figure1 scripts/bench.sh   # filter by benchmark name
+#   BENCHTIME=1x scripts/bench.sh    # quick smoke pass
+#   OUT=custom.json scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_obs.json}"
+
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem -json ./... |
+	go run ./cmd/benchjson -o "$OUT"

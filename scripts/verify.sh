@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# verify.sh — the tier-1 gate plus the race detector, in the order a
+# reviewer would run them. Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all checks passed"
