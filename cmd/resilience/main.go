@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	resilience [-seed N] [-k N]
+//	resilience [-seed N] [-k N] [-disaster lat,lon,radiusKm]
 package main
 
 import (
@@ -31,6 +31,7 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 42, "study seed (deterministic)")
 		workers  = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
 		k        = fs.Int("k", 8, "number of conduits to cut in the strategy comparison")
+		disaster = fs.String("disaster", "", "evaluate a regional disaster: lat,lon,radiusKm (e.g. 29.95,-90.07,350)")
 		logLevel = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		verbose  = fs.Bool("v", false, "shorthand for -log-level debug")
 		timings  = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
@@ -43,6 +44,17 @@ func run(args []string, out io.Writer) error {
 	}
 	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Workers: *workers})
 	fmt.Fprintln(out, study.RenderResilience(*k))
+	if *disaster != "" {
+		var lat, lon, radiusKm float64
+		if _, err := fmt.Sscanf(*disaster, "%f,%f,%f", &lat, &lon, &radiusKm); err != nil {
+			return fmt.Errorf("invalid -disaster %q (want lat,lon,radiusKm): %w", *disaster, err)
+		}
+		report, err := study.RenderDisaster(lat, lon, radiusKm)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, report)
+	}
 	if *timings {
 		fmt.Fprint(out, study.BuildReport())
 	}

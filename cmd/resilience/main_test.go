@@ -29,6 +29,24 @@ func TestRunTimings(t *testing.T) {
 	}
 }
 
+func TestRunDisaster(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-k", "2", "-disaster", "29.95,-90.07,350"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"regional-disaster", "conduits cut", "Per-provider disconnection"} {
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("disaster output missing %q", marker)
+		}
+	}
+}
+
+func TestRunBadDisaster(t *testing.T) {
+	if err := run([]string{"-disaster", "not-a-region"}, &strings.Builder{}); err == nil {
+		t.Error("expected error for malformed -disaster")
+	}
+}
+
 func TestRunBadLogLevel(t *testing.T) {
 	if err := run([]string{"-log-level", "shouting"}, &strings.Builder{}); err == nil {
 		t.Error("expected error for unknown log level")

@@ -1,0 +1,136 @@
+// Command whatif evaluates declarative what-if scenarios against the
+// constructed long-haul map: conduit cuts (explicit, most-shared,
+// most-between, regional disasters), provider removal, and new conduit
+// builds, reported as deltas against the baseline study.
+//
+// Usage:
+//
+//	whatif -preset gulf-hurricane
+//	whatif -file scenario.json [-json]
+//	whatif -list-presets
+//
+// A scenario file is the JSON form of scenario.Scenario, e.g.:
+//
+//	{"name": "gulf plus level3 exit",
+//	 "preset": "gulf-hurricane",
+//	 "removeISPs": ["Level 3"]}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intertubes"
+	"intertubes/internal/obs"
+	"intertubes/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	var (
+		seed        = fs.Int64("seed", 42, "study seed (deterministic)")
+		workers     = fs.Int("workers", 0, "worker pool for the analysis stages (0 = all CPUs; results identical)")
+		preset      = fs.String("preset", "", "evaluate a named preset scenario")
+		file        = fs.String("file", "", "evaluate a scenario spec from a JSON file (- for stdin)")
+		listPresets = fs.Bool("list-presets", false, "list the preset scenarios and exit")
+		asJSON      = fs.Bool("json", false, "emit the full Result as JSON instead of the text report")
+		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		verbose     = fs.Bool("v", false, "shorthand for -log-level debug")
+		timings     = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := obs.ConfigureLogging(*verbose, *logLevel); err != nil {
+		return err
+	}
+
+	if *listPresets {
+		for _, sc := range scenario.Presets() {
+			fmt.Fprintf(out, "%-16s %s\n", sc.Name, describe(sc))
+		}
+		return nil
+	}
+
+	sc, err := loadScenario(*preset, *file)
+	if err != nil {
+		return err
+	}
+
+	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Workers: *workers})
+	res, err := study.WhatIf(context.Background(), sc)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(out, scenario.Render(res))
+	}
+	if *timings {
+		fmt.Fprint(out, study.BuildReport())
+	}
+	return nil
+}
+
+// loadScenario builds the scenario from the flags: a file spec, a
+// preset name, or both (the file composes on top of the preset).
+func loadScenario(preset, file string) (scenario.Scenario, error) {
+	var sc scenario.Scenario
+	switch {
+	case file != "":
+		var raw []byte
+		var err error
+		if file == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(file)
+		}
+		if err != nil {
+			return sc, err
+		}
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			return sc, fmt.Errorf("parsing %s: %w", file, err)
+		}
+		if preset != "" {
+			sc.Preset = preset
+		}
+	case preset != "":
+		sc.Preset = preset
+	default:
+		return sc, fmt.Errorf("nothing to evaluate: pass -preset, -file, or -list-presets")
+	}
+	return sc, nil
+}
+
+// describe summarizes a preset's perturbation in one line.
+func describe(sc scenario.Scenario) string {
+	switch {
+	case len(sc.Regions) > 0:
+		r := sc.Regions[0]
+		return fmt.Sprintf("regional disaster at (%.2f, %.2f), radius %.0f km", r.Lat, r.Lon, r.RadiusKm)
+	case sc.CutMostShared > 0:
+		return fmt.Sprintf("cut the %d most-shared conduits", sc.CutMostShared)
+	case sc.CutMostBetween > 0:
+		return fmt.Sprintf("cut the %d highest-betweenness conduits", sc.CutMostBetween)
+	case len(sc.RemoveISPs) > 0:
+		return fmt.Sprintf("remove provider(s): %v", sc.RemoveISPs)
+	default:
+		return "custom perturbation"
+	}
+}

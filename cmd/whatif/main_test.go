@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunListPresets(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list-presets"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"top12-cut", "gulf-hurricane", "level3-exit"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("missing preset %q in:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunPreset(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-preset", "top12-cut"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"top12-cut", "conduits cut:    12", "Sharing distribution"} {
+		if !strings.Contains(out.String(), marker) {
+			t.Errorf("missing %q in:\n%s", marker, out.String())
+		}
+	}
+}
+
+func TestRunFileJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	spec := `{"name": "two cuts", "cutConduits": [0, 1]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-file", path, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Hash        string `json:"hash"`
+		ConduitsCut int    `json:"conduitsCut"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if res.Hash == "" || res.ConduitsCut != 2 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+func TestRunNoScenario(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Error("expected an error when nothing is selected")
+	}
+}
+
+func TestRunUnknownPreset(t *testing.T) {
+	if err := run([]string{"-preset", "nope"}, &strings.Builder{}); err == nil {
+		t.Error("expected an error for an unknown preset")
+	}
+}

@@ -1,0 +1,61 @@
+package intertubes
+
+import (
+	"strings"
+	"testing"
+
+	"intertubes/internal/geo"
+)
+
+// TestRenderFigure4Guard pins renderFigure4 against degenerate
+// co-location inputs: an empty analysis must render a clean notice,
+// never a NaN histogram.
+func TestRenderFigure4Guard(t *testing.T) {
+	cases := []struct {
+		name    string
+		colo    []geo.Colocation
+		want    []string
+		forbid  []string
+		wantNaN bool
+	}{
+		{
+			name:   "empty analysis",
+			colo:   nil,
+			want:   []string{"Figure 4", "no co-location data"},
+			forbid: []string{"NaN"},
+		},
+		{
+			name: "single fully colocated conduit",
+			colo: []geo.Colocation{{
+				Fractions: map[string]float64{"road": 1, "rail": 1},
+				Any:       1,
+			}},
+			want:   []string{"exactly 1.0", "mean co-location: road 1.00, rail 1.00, either 1.00"},
+			forbid: []string{"NaN"},
+		},
+		{
+			name: "mixed fractions",
+			colo: []geo.Colocation{
+				{Fractions: map[string]float64{"road": 0.5, "rail": 0.1}, Any: 0.5},
+				{Fractions: map[string]float64{"road": 0.9, "rail": 0.3}, Any: 0.9},
+			},
+			want:   []string{"mean co-location: road 0.70, rail 0.20, either 0.70"},
+			forbid: []string{"NaN"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := renderFigure4(tc.colo)
+			for _, w := range tc.want {
+				if !strings.Contains(got, w) {
+					t.Errorf("missing %q in:\n%s", w, got)
+				}
+			}
+			for _, f := range tc.forbid {
+				if strings.Contains(got, f) {
+					t.Errorf("output contains %q:\n%s", f, got)
+				}
+			}
+		})
+	}
+}

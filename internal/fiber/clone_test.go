@@ -1,0 +1,117 @@
+package fiber
+
+import (
+	"reflect"
+	"testing"
+
+	"intertubes/internal/geo"
+)
+
+// cloneMap builds a small shared map:
+//
+//	c0 A-B: X, Y
+//	c1 B-C: X
+//	c2 A-C: Z
+func cloneMap(t *testing.T) *Map {
+	t.Helper()
+	m := NewMap()
+	a := m.AddNode("A", "XX", geo.Point{Lat: 40, Lon: -100}, 1, -1)
+	b := m.AddNode("B", "XX", geo.Point{Lat: 41, Lon: -101}, 1, -1)
+	c := m.AddNode("C", "XX", geo.Point{Lat: 42, Lon: -102}, 1, -1)
+	mk := func(x, y NodeID, corr int) ConduitID {
+		return m.EnsureConduit(x, y, corr, geo.GreatCircle(m.Node(x).Loc, m.Node(y).Loc, 2))
+	}
+	c0 := mk(a, b, 0)
+	c1 := mk(b, c, 1)
+	c2 := mk(a, c, 2)
+	m.AddTenant(c0, "X")
+	m.AddTenant(c0, "Y")
+	m.AddTenant(c1, "X")
+	m.AddTenant(c2, "Z")
+	return m
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := cloneMap(t)
+	cp := m.Clone()
+
+	if !reflect.DeepEqual(m.Stats(), cp.Stats()) {
+		t.Fatalf("clone stats differ: %+v vs %+v", m.Stats(), cp.Stats())
+	}
+	if !reflect.DeepEqual(m.ISPs(), cp.ISPs()) {
+		t.Fatalf("clone ISPs differ: %v vs %v", m.ISPs(), cp.ISPs())
+	}
+
+	// Mutate the clone; the original must be untouched.
+	cp.ClearTenants(0)
+	cp.RemoveISP("Z")
+	if got := m.Conduit(0).Tenants; len(got) != 2 {
+		t.Errorf("original conduit 0 tenants mutated: %v", got)
+	}
+	if got := m.ConduitsOf("Z"); len(got) != 1 {
+		t.Errorf("original byTenant index mutated: %v", got)
+	}
+	if got := m.Stats().Links; got != 4 {
+		t.Errorf("original link count mutated: %d", got)
+	}
+
+	// And new tenancies on the clone must not leak back.
+	cp.AddTenant(1, "W")
+	if got := m.ConduitsOf("W"); len(got) != 0 {
+		t.Errorf("tenant added to clone visible in original: %v", got)
+	}
+}
+
+func TestRemoveTenant(t *testing.T) {
+	m := cloneMap(t)
+	if !m.RemoveTenant(0, "X") {
+		t.Fatal("RemoveTenant(0, X) = false")
+	}
+	if m.RemoveTenant(0, "X") {
+		t.Error("second RemoveTenant(0, X) should report false")
+	}
+	if m.Conduit(0).HasTenant("X") {
+		t.Error("conduit 0 still lists X")
+	}
+	if got := m.ConduitsOf("X"); !reflect.DeepEqual(got, []ConduitID{1}) {
+		t.Errorf("ConduitsOf(X) = %v, want [1]", got)
+	}
+	if got := m.Stats().Links; got != 3 {
+		t.Errorf("Links = %d, want 3", got)
+	}
+}
+
+func TestClearTenantsDarkensConduit(t *testing.T) {
+	m := cloneMap(t)
+	if got := m.ClearTenants(0); got != 2 {
+		t.Fatalf("ClearTenants(0) = %d, want 2", got)
+	}
+	if got := m.ClearTenants(0); got != 0 {
+		t.Errorf("second ClearTenants(0) = %d, want 0", got)
+	}
+	st := m.Stats()
+	if st.Conduits != 2 { // lit conduits only
+		t.Errorf("lit conduits = %d, want 2", st.Conduits)
+	}
+	if st.Links != 2 {
+		t.Errorf("links = %d, want 2", st.Links)
+	}
+}
+
+func TestRemoveISP(t *testing.T) {
+	m := cloneMap(t)
+	if got := m.RemoveISP("X"); got != 2 {
+		t.Fatalf("RemoveISP(X) = %d, want 2", got)
+	}
+	if got := m.RemoveISP("X"); got != 0 {
+		t.Errorf("second RemoveISP(X) = %d, want 0", got)
+	}
+	for _, isp := range m.ISPs() {
+		if isp == "X" {
+			t.Error("X still listed by ISPs()")
+		}
+	}
+	if m.Conduit(1).HasTenant("X") {
+		t.Error("conduit 1 still lists X")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"intertubes/internal/atlas"
 	"intertubes/internal/fiber"
 	"intertubes/internal/geo"
+	"intertubes/internal/par"
 )
 
 // latencyfix.go implements the constructive half of §5.3: the paper
@@ -48,18 +49,22 @@ func LatencyImprovements(m *fiber.Map, a *atlas.Atlas, study []PairLatency, k in
 		}
 	}
 
-	var out []LatencyImprovement
-	for _, pl := range study {
+	// Each pair is an independent read-only ROW-graph query, so the
+	// sweep fans out over the worker pool; skipped pairs are filtered
+	// during the ordered reduce, keeping the output identical for any
+	// worker count.
+	computed := par.Map(len(study), opts.Workers, func(i int) *LatencyImprovement {
+		pl := study[i]
 		if pl.BestMs <= pl.RowMs*1.02 {
-			continue // already at the ROW bound
+			return nil // already at the ROW bound
 		}
 		na, nb := m.Node(pl.A), m.Node(pl.B)
 		if na.AtlasCity < 0 || nb.AtlasCity < 0 {
-			continue
+			return nil
 		}
 		path, ok := rg.ShortestPath(na.AtlasCity, nb.AtlasCity, nil)
 		if !ok {
-			continue
+			return nil
 		}
 		imp := LatencyImprovement{
 			A: pl.A, B: pl.B,
@@ -83,9 +88,15 @@ func LatencyImprovements(m *fiber.Map, a *atlas.Atlas, study []PairLatency, k in
 		// Only material proposals: a build must save at least 50 us
 		// (~10 km of route) to be worth a trench.
 		if imp.SavedMs < 0.05 {
-			continue
+			return nil
 		}
-		out = append(out, imp)
+		return &imp
+	})
+	var out []LatencyImprovement
+	for _, imp := range computed {
+		if imp != nil {
+			out = append(out, *imp)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		// Rank by delay saved per new fiber km; an all-reuse build
@@ -103,7 +114,15 @@ func LatencyImprovements(m *fiber.Map, a *atlas.Atlas, study []PairLatency, k in
 		if ri != rj {
 			return ri > rj
 		}
-		return out[i].SavedMs > out[j].SavedMs
+		if out[i].SavedMs != out[j].SavedMs {
+			return out[i].SavedMs > out[j].SavedMs
+		}
+		// Exact ties fall back to node ids: the ranking must be
+		// deterministic at any worker count.
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
 	})
 	if len(out) > k {
 		out = out[:k]

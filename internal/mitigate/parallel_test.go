@@ -21,6 +21,24 @@ func TestLatencyStudyWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestLatencyImprovementsWorkerInvariance pins the parallel §5.3
+// build-proposal sweep to the serial result: the ranked proposals must
+// be identical for any worker count.
+func TestLatencyImprovementsWorkerInvariance(t *testing.T) {
+	res, _ := build(t)
+	study := LatencyStudy(res.Map, res.Atlas, LatencyOptions{MaxPairs: 250, Workers: 1})
+	base := LatencyImprovements(res.Map, res.Atlas, study, 10, LatencyOptions{Workers: 1})
+	if len(base) == 0 {
+		t.Fatal("no proposed builds")
+	}
+	for _, workers := range []int{2, 6} {
+		got := LatencyImprovements(res.Map, res.Atlas, study, 10, LatencyOptions{Workers: workers})
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: proposed builds diverge from serial", workers)
+		}
+	}
+}
+
 // TestAddConduitsDeterministicFullMap is the regression guard for the
 // §5.2 greedy sweep on the full seed-42 map: the chosen additions must
 // not depend on the worker count, and the top-k endpoints are pinned

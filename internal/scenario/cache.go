@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"intertubes/internal/obs"
+)
+
+// cache.go is the serving layer around the engine: a bounded LRU
+// keyed by scenario content hash, with singleflight deduplication so
+// that N concurrent identical queries cost exactly one evaluation.
+// Every counter is an obs metric, so /metrics exposes hit rate,
+// evictions, and coalesced queries.
+
+var (
+	cacheHits = obs.GetCounter("scenario_cache_hits_total",
+		"Scenario queries answered from the result cache.")
+	cacheMisses = obs.GetCounter("scenario_cache_misses_total",
+		"Scenario queries that required an evaluation.")
+	cacheEvictions = obs.GetCounter("scenario_cache_evictions_total",
+		"Cached scenario results evicted by the LRU bound.")
+	cacheCoalesced = obs.GetCounter("scenario_singleflight_coalesced_total",
+		"Scenario queries that joined an in-flight identical evaluation.")
+	cacheSize = obs.GetGauge("scenario_cache_entries",
+		"Scenario results currently cached.")
+)
+
+// DefaultCacheCapacity bounds the cache when the caller passes a
+// non-positive capacity.
+const DefaultCacheCapacity = 128
+
+// Cache is a bounded, concurrency-safe scenario query service. Cached
+// *Results are shared across callers and must be treated as
+// immutable.
+type Cache struct {
+	eng *Engine
+	cap int
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used; values are *entry
+	byHash   map[string]*list.Element
+	inflight map[string]*flight
+}
+
+type entry struct {
+	hash string
+	res  *Result
+}
+
+// flight is one in-progress evaluation; followers block on done.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// NewCache wraps an engine in a query cache holding at most capacity
+// results (DefaultCacheCapacity if capacity <= 0).
+func NewCache(eng *Engine, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		eng:      eng,
+		cap:      capacity,
+		ll:       list.New(),
+		byHash:   make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Engine returns the wrapped engine.
+func (c *Cache) Engine() *Engine { return c.eng }
+
+// Eval resolves the scenario and returns its Result, from cache when
+// the hash is known, joining an identical in-flight evaluation when
+// one exists, and evaluating otherwise. Evaluation errors are
+// propagated to every waiter and never cached.
+func (c *Cache) Eval(ctx context.Context, sc Scenario) (*Result, error) {
+	sc, err := Resolve(sc)
+	if err != nil {
+		return nil, err
+	}
+	hash := sc.Hash()
+
+	c.mu.Lock()
+	if el, ok := c.byHash[hash]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		cacheHits.Inc()
+		return el.Value.(*entry).res, nil
+	}
+	if fl, ok := c.inflight[hash]; ok {
+		c.mu.Unlock()
+		cacheCoalesced.Inc()
+		select {
+		case <-fl.done:
+			return fl.res, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[hash] = fl
+	c.mu.Unlock()
+
+	cacheMisses.Inc()
+	fl.res, fl.err = c.eng.Evaluate(ctx, sc)
+
+	c.mu.Lock()
+	delete(c.inflight, hash)
+	if fl.err == nil {
+		c.insert(hash, fl.res)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// insert adds a result and evicts from the LRU tail past capacity.
+// Caller holds c.mu.
+func (c *Cache) insert(hash string, res *Result) {
+	if el, ok := c.byHash[hash]; ok { // lost a benign race: refresh
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).res = res
+		return
+	}
+	c.byHash[hash] = c.ll.PushFront(&entry{hash: hash, res: res})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byHash, tail.Value.(*entry).hash)
+		cacheEvictions.Inc()
+	}
+	cacheSize.Set(float64(c.ll.Len()))
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Summary is one row of the cache listing.
+type Summary struct {
+	Hash string `json:"hash"`
+	Name string `json:"name,omitempty"`
+	// Perturbation headline.
+	ConduitsCut   int      `json:"conduitsCut"`
+	ISPsRemoved   []string `json:"ispsRemoved,omitempty"`
+	ConduitsAdded int      `json:"conduitsAdded"`
+	// MeanDisconnection is the after-column average of the
+	// disconnection table.
+	MeanDisconnection float64 `json:"meanDisconnection"`
+}
+
+// Entries lists the cached results, most recently used first.
+func (c *Cache) Entries() []Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Summary, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, Summary{
+			Hash:              e.hash,
+			Name:              e.res.Scenario.Name,
+			ConduitsCut:       e.res.ConduitsCut,
+			ISPsRemoved:       e.res.ISPsRemoved,
+			ConduitsAdded:     e.res.ConduitsAdded,
+			MeanDisconnection: e.res.MeanDisconnectionAfter(),
+		})
+	}
+	return out
+}

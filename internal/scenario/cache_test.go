@@ -1,0 +1,192 @@
+package scenario
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"intertubes/internal/fiber"
+)
+
+func TestCacheHit(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 8)
+	ctx := context.Background()
+	sc := Scenario{Preset: "level3-exit"}
+
+	before := evaluations.Value()
+	r1, err := c.Eval(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different spelling, same content: must hit.
+	r2, err := c.Eval(ctx, Scenario{Name: "other spelling", RemoveISPs: []string{"Level 3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("logically equal scenarios should share one cached *Result")
+	}
+	if got := evaluations.Value() - before; got != 1 {
+		t.Errorf("evaluations = %d, want 1 (second call must be a cache hit)", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 2)
+	ctx := context.Background()
+	eval := func(cid int) {
+		t.Helper()
+		if _, err := c.Eval(ctx, Scenario{CutConduits: []fiber.ConduitID{fiber.ConduitID(cid)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval(0)
+	eval(1)
+	eval(0) // touch 0: now 1 is least recently used
+	eval(2) // evicts 1
+
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	before := evaluations.Value()
+	eval(0) // still cached
+	if got := evaluations.Value() - before; got != 0 {
+		t.Errorf("scenario 0 was evicted (evaluations +%d)", got)
+	}
+	eval(1) // was evicted: re-evaluates
+	if got := evaluations.Value() - before; got != 1 {
+		t.Errorf("scenario 1 should have been evicted and re-run (+%d)", got)
+	}
+}
+
+func TestCacheEntriesMRUFirst(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 8)
+	ctx := context.Background()
+	a := Scenario{Name: "a", CutConduits: []fiber.ConduitID{0}}
+	b := Scenario{Name: "b", CutConduits: []fiber.ConduitID{1}}
+	if _, err := c.Eval(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Eval(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	es := c.Entries()
+	if len(es) != 2 || es[0].Name != "b" || es[1].Name != "a" {
+		t.Errorf("Entries = %+v, want MRU-first [b a]", es)
+	}
+	if es[0].ConduitsCut != 1 {
+		t.Errorf("summary headline = %+v", es[0])
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 8)
+	ctx := context.Background()
+	bad := Scenario{CutConduits: []fiber.ConduitID{1 << 30}}
+	if _, err := c.Eval(ctx, bad); err == nil {
+		t.Fatal("out-of-range cut should fail")
+	}
+	if c.Len() != 0 {
+		t.Errorf("error was cached: Len = %d", c.Len())
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 8)
+	ctx := context.Background()
+	sc := Scenario{Preset: "backbone-attack"}
+
+	const callers = 16
+	before := evaluations.Value()
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Eval(ctx, sc)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if got := evaluations.Value() - before; got != 1 {
+		t.Errorf("%d concurrent identical queries cost %d evaluations, want 1", callers, got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different *Result", i)
+		}
+	}
+}
+
+func TestCacheConcurrentDistinct(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 32)
+	ctx := context.Background()
+
+	const distinct = 6
+	before := evaluations.Value()
+	var wg sync.WaitGroup
+	for i := 0; i < distinct; i++ {
+		for j := 0; j < 3; j++ { // three callers per scenario
+			wg.Add(1)
+			go func(cid int) {
+				defer wg.Done()
+				if _, err := c.Eval(ctx, Scenario{CutConduits: []fiber.ConduitID{fiber.ConduitID(cid)}}); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	if got := evaluations.Value() - before; got != distinct {
+		t.Errorf("evaluations = %d, want %d (one per distinct scenario)", got, distinct)
+	}
+	if c.Len() != distinct {
+		t.Errorf("Len = %d, want %d", c.Len(), distinct)
+	}
+}
+
+func TestCacheResolveError(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 8)
+	if _, err := c.Eval(context.Background(), Scenario{Preset: "nope"}); err == nil {
+		t.Error("unknown preset should fail before touching the cache")
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 0)
+	if c.cap != DefaultCacheCapacity {
+		t.Errorf("cap = %d, want %d", c.cap, DefaultCacheCapacity)
+	}
+}
+
+// Exercise the cache under the race detector with mixed hits, misses,
+// and coalesced queries.
+func TestCacheRace(t *testing.T) {
+	c := NewCache(newEngine(t, 0), 4)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := Scenario{CutConduits: []fiber.ConduitID{fiber.ConduitID(i % 6)}}
+			if _, err := c.Eval(ctx, sc); err != nil {
+				t.Error(err)
+			}
+			c.Entries()
+			c.Len()
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() > 4 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
+	}
+}

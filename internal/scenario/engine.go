@@ -1,0 +1,501 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"intertubes/internal/fiber"
+	"intertubes/internal/geo"
+	"intertubes/internal/mapbuilder"
+	"intertubes/internal/mitigate"
+	"intertubes/internal/obs"
+	"intertubes/internal/resilience"
+	"intertubes/internal/risk"
+	"intertubes/internal/traceroute"
+)
+
+// engine.go evaluates a canonical Scenario against the baseline study
+// into a Result of deltas. Evaluation is pure and deterministic: the
+// same scenario against the same baseline yields the same Result for
+// any worker count, which is what makes the hash a safe cache key and
+// Sweep's bit-identical contract hold.
+
+var evaluations = obs.GetCounter("scenario_evaluations_total",
+	"Scenario evaluations actually executed (cache hits and singleflight followers excluded).")
+
+// Options fixes the baseline knobs scenario evaluation inherits from
+// the study.
+type Options struct {
+	// Seed is the study seed; the traffic overlay derives its campaign
+	// stream from it exactly as the baseline campaign does.
+	Seed int64
+	// Probes is the default campaign size for IncludeTraffic scenarios
+	// (overridable per scenario).
+	Probes int
+	// LatencyMaxPairs is the default pair cap for IncludeLatency
+	// scenarios (overridable per scenario).
+	LatencyMaxPairs int
+	// Workers bounds the worker pool used by the heavy sub-analyses.
+	// Results are bit-identical for any value.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Probes == 0 {
+		o.Probes = 200000
+	}
+	if o.LatencyMaxPairs == 0 {
+		o.LatencyMaxPairs = 3000
+	}
+	return o
+}
+
+// Engine evaluates scenarios against one immutable baseline. It is
+// safe for concurrent use: the baseline is computed once, every
+// evaluation works on its own clone of the map.
+type Engine struct {
+	res  *mapbuilder.Result
+	mx   *risk.Matrix
+	opts Options
+
+	baseOnce sync.Once
+	base     baseline
+
+	latMu   sync.Mutex
+	latBase map[int]mitigate.LatencySummary // by MaxPairs
+
+	trafMu   sync.Mutex
+	trafBase map[int]TrafficSummary // by Probes
+}
+
+// baseline is everything Evaluate diffs against, computed once.
+type baseline struct {
+	stats   fiber.Stats
+	sharing []int
+	rankOf  map[string]int
+	meanOf  map[string]float64
+	disc    map[string]resilience.Impact
+	part    map[string]int
+}
+
+// New builds an engine over a completed map build and its risk
+// matrix.
+func New(res *mapbuilder.Result, mx *risk.Matrix, opts Options) *Engine {
+	return &Engine{
+		res:      res,
+		mx:       mx,
+		opts:     opts.withDefaults(),
+		latBase:  make(map[int]mitigate.LatencySummary),
+		trafBase: make(map[int]TrafficSummary),
+	}
+}
+
+func (e *Engine) baseline() *baseline {
+	e.baseOnce.Do(func() {
+		m := e.res.Map
+		b := &e.base
+		b.stats = m.Stats()
+		b.sharing = e.mx.SharingCounts()
+		b.rankOf = make(map[string]int)
+		b.meanOf = make(map[string]float64)
+		for pos, r := range e.mx.Ranking() {
+			b.rankOf[r.ISP] = pos + 1
+			b.meanOf[r.ISP] = r.Mean
+		}
+		b.disc = make(map[string]resilience.Impact)
+		for _, im := range resilience.CutImpact(m, e.mx, nil) {
+			b.disc[im.ISP] = im
+		}
+		b.part = make(map[string]int)
+		for _, pc := range resilience.PartitionCosts(m, e.mx.ISPs) {
+			b.part[pc.ISP] = pc.MinCuts
+		}
+	})
+	return &e.base
+}
+
+// baselineLatency memoizes the baseline latency summary per pair cap.
+func (e *Engine) baselineLatency(maxPairs int) mitigate.LatencySummary {
+	e.latMu.Lock()
+	if s, ok := e.latBase[maxPairs]; ok {
+		e.latMu.Unlock()
+		return s
+	}
+	e.latMu.Unlock()
+	s := mitigate.Summarize(mitigate.LatencyStudy(e.res.Map, e.res.Atlas, mitigate.LatencyOptions{
+		MaxPairs: maxPairs,
+		Workers:  e.opts.Workers,
+	}))
+	e.latMu.Lock()
+	e.latBase[maxPairs] = s
+	e.latMu.Unlock()
+	return s
+}
+
+// baselineTraffic memoizes the baseline traffic overlay per campaign
+// size.
+func (e *Engine) baselineTraffic(ctx context.Context, probes int) TrafficSummary {
+	e.trafMu.Lock()
+	if s, ok := e.trafBase[probes]; ok {
+		e.trafMu.Unlock()
+		return s
+	}
+	e.trafMu.Unlock()
+	s := e.trafficOn(ctx, e.res, probes)
+	e.trafMu.Lock()
+	e.trafBase[probes] = s
+	e.trafMu.Unlock()
+	return s
+}
+
+func (e *Engine) trafficOn(ctx context.Context, res *mapbuilder.Result, probes int) TrafficSummary {
+	camp := traceroute.RunCtx(ctx, res, traceroute.Options{
+		N:       probes,
+		Seed:    e.opts.Seed + 2,
+		Workers: e.opts.Workers,
+	})
+	pub, over := camp.SharingWithTraffic()
+	return TrafficSummary{
+		Conduits:      len(pub),
+		MeanPublished: mean(pub),
+		MeanOverlaid:  mean(over),
+	}
+}
+
+func mean(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// ---- Result types ----
+
+// StatsDelta carries Figure 1's headline numbers before and after.
+type StatsDelta struct {
+	Before fiber.Stats `json:"before"`
+	After  fiber.Stats `json:"after"`
+}
+
+// SharingShift is one k of Figure 6's distribution, before and after.
+type SharingShift struct {
+	K      int `json:"k"`
+	Before int `json:"before"`
+	After  int `json:"after"`
+}
+
+// RankShift is one provider's Figure 7 movement. A removed provider
+// does not appear; a provider whose conduits all went dark keeps a
+// row with MeanAfter 0.
+type RankShift struct {
+	ISP        string  `json:"isp"`
+	MeanBefore float64 `json:"meanBefore"`
+	MeanAfter  float64 `json:"meanAfter"`
+	RankBefore int     `json:"rankBefore"`
+	RankAfter  int     `json:"rankAfter"`
+}
+
+// Disconnection is one provider's connectivity damage: the fraction
+// of its baseline-footprint node pairs disconnected, before vs after.
+type Disconnection struct {
+	ISP string `json:"isp"`
+	// CutsHit is how many cut conduits the provider occupied in the
+	// baseline map.
+	CutsHit int     `json:"cutsHit"`
+	Before  float64 `json:"before"`
+	After   float64 `json:"after"`
+	// LargestComponent is the fraction of the provider's nodes left
+	// in its largest surviving component.
+	LargestComponent float64 `json:"largestComponent"`
+}
+
+// PartitionShift is one provider's minimum-cuts-to-partition, before
+// vs after.
+type PartitionShift struct {
+	ISP    string `json:"isp"`
+	Before int    `json:"before"`
+	After  int    `json:"after"`
+}
+
+// LatencyDelta compares the §5.3 latency summaries.
+type LatencyDelta struct {
+	MaxPairs int                     `json:"maxPairs"`
+	Before   mitigate.LatencySummary `json:"before"`
+	After    mitigate.LatencySummary `json:"after"`
+}
+
+// TrafficSummary condenses a traceroute overlay: how many published
+// conduits exist and the mean sharing degree with and without the
+// traffic-inferred tenants.
+type TrafficSummary struct {
+	Conduits      int     `json:"conduits"`
+	MeanPublished float64 `json:"meanPublished"`
+	MeanOverlaid  float64 `json:"meanOverlaid"`
+}
+
+// TrafficDelta compares traffic overlays at one campaign size.
+type TrafficDelta struct {
+	Probes int            `json:"probes"`
+	Before TrafficSummary `json:"before"`
+	After  TrafficSummary `json:"after"`
+}
+
+// Result is the evaluated scenario: the canonical spec, its hash, the
+// resolved perturbation, and every delta against the baseline.
+type Result struct {
+	Hash     string   `json:"hash"`
+	Scenario Scenario `json:"scenario"`
+
+	// Cut is the resolved cut set (union of all cut clauses), sorted.
+	Cut          []fiber.ConduitID `json:"cut,omitempty"`
+	ConduitsCut  int               `json:"conduitsCut"`
+	TenanciesCut int               `json:"tenanciesCut"`
+	// ISPsRemoved / LinksRemoved account the provider-removal clause;
+	// ConduitsAdded the additions actually materialized.
+	ISPsRemoved   []string `json:"ispsRemoved,omitempty"`
+	LinksRemoved  int      `json:"linksRemoved"`
+	ConduitsAdded int      `json:"conduitsAdded"`
+
+	Stats         StatsDelta       `json:"stats"`
+	Sharing       []SharingShift   `json:"sharing"`
+	Ranking       []RankShift      `json:"ranking"`
+	Disconnection []Disconnection  `json:"disconnection"`
+	Partition     []PartitionShift `json:"partition"`
+	Latency       *LatencyDelta    `json:"latency,omitempty"`
+	Traffic       *TrafficDelta    `json:"traffic,omitempty"`
+}
+
+// MeanDisconnectionAfter averages the after-column of the
+// disconnection table — the scalar headline of a cut scenario.
+func (r *Result) MeanDisconnectionAfter() float64 {
+	if len(r.Disconnection) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, d := range r.Disconnection {
+		sum += d.After
+	}
+	return sum / float64(len(r.Disconnection))
+}
+
+// ---- Evaluation ----
+
+// Evaluate resolves, canonicalizes, and evaluates the scenario. It is
+// deterministic: equal scenarios produce equal Results, bit for bit,
+// at any Workers setting.
+func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (*Result, error) {
+	sc, err := Resolve(sc)
+	if err != nil {
+		return nil, err
+	}
+	evaluations.Inc()
+	ctx, sp := obs.Trace(ctx, "scenario.evaluate")
+	defer sp.End()
+
+	m := e.res.Map
+	base := e.baseline()
+
+	cuts, err := e.ResolveCuts(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Hash:        sc.Hash(),
+		Scenario:    sc,
+		Cut:         cuts,
+		ConduitsCut: len(cuts),
+		ISPsRemoved: sc.RemoveISPs,
+	}
+	for _, cid := range cuts {
+		res.TenanciesCut += len(m.Conduit(cid).Tenants)
+	}
+
+	// pmPlus: removals and additions applied, cut conduits still lit —
+	// the topology used for connectivity, where a severed node must
+	// still count against its provider's pair total.
+	pmPlus := m.Clone()
+	for _, isp := range sc.RemoveISPs {
+		res.LinksRemoved += pmPlus.RemoveISP(isp)
+	}
+	kept := make([]string, 0, len(e.mx.ISPs))
+	removed := make(map[string]bool, len(sc.RemoveISPs))
+	for _, isp := range sc.RemoveISPs {
+		removed[isp] = true
+	}
+	for _, isp := range e.mx.ISPs {
+		if !removed[isp] {
+			kept = append(kept, isp)
+		}
+	}
+	for _, ad := range sc.Additions {
+		if err := applyAddition(pmPlus, ad, kept); err != nil {
+			return nil, err
+		}
+		res.ConduitsAdded++
+	}
+
+	// pm: the fully perturbed map — cuts go dark on top of pmPlus.
+	pm := pmPlus.Clone()
+	for _, cid := range cuts {
+		pm.ClearTenants(cid)
+	}
+
+	mx2 := risk.Build(pm, kept)
+
+	// Stats and sharing distribution.
+	res.Stats = StatsDelta{Before: base.stats, After: pm.Stats()}
+	after := mx2.SharingCounts()
+	n := len(base.sharing)
+	if len(after) > n {
+		n = len(after)
+	}
+	for k := 1; k <= n; k++ {
+		s := SharingShift{K: k}
+		if k <= len(base.sharing) {
+			s.Before = base.sharing[k-1]
+		}
+		if k <= len(after) {
+			s.After = after[k-1]
+		}
+		res.Sharing = append(res.Sharing, s)
+	}
+
+	// Ranking shifts, in after-ranking order.
+	for pos, r := range mx2.Ranking() {
+		res.Ranking = append(res.Ranking, RankShift{
+			ISP:        r.ISP,
+			MeanBefore: base.meanOf[r.ISP],
+			MeanAfter:  r.Mean,
+			RankBefore: base.rankOf[r.ISP],
+			RankAfter:  pos + 1,
+		})
+	}
+
+	// Per-ISP disconnection: pmPlus keeps full footprints, the cut set
+	// is excluded by weight inside CutImpact.
+	impacts := resilience.CutImpact(pmPlus, mx2, cuts)
+	for _, im := range impacts {
+		res.Disconnection = append(res.Disconnection, Disconnection{
+			ISP:              im.ISP,
+			CutsHit:          im.CutsHit,
+			Before:           base.disc[im.ISP].DisconnectedPairs,
+			After:            im.DisconnectedPairs,
+			LargestComponent: im.LargestComponent,
+		})
+	}
+
+	// Partition cost on the fully perturbed map, most fragile first.
+	for _, pc := range resilience.PartitionCosts(pm, kept) {
+		res.Partition = append(res.Partition, PartitionShift{
+			ISP:    pc.ISP,
+			Before: base.part[pc.ISP],
+			After:  pc.MinCuts,
+		})
+	}
+
+	if sc.IncludeLatency {
+		maxPairs := e.opts.LatencyMaxPairs
+		if sc.Overrides.LatencyMaxPairs > 0 {
+			maxPairs = sc.Overrides.LatencyMaxPairs
+		}
+		afterSum := mitigate.Summarize(mitigate.LatencyStudy(pm, e.res.Atlas, mitigate.LatencyOptions{
+			MaxPairs: maxPairs,
+			Workers:  e.opts.Workers,
+		}))
+		res.Latency = &LatencyDelta{
+			MaxPairs: maxPairs,
+			Before:   e.baselineLatency(maxPairs),
+			After:    afterSum,
+		}
+	}
+
+	if sc.IncludeTraffic {
+		probes := e.opts.Probes
+		if sc.Overrides.Probes > 0 {
+			probes = sc.Overrides.Probes
+		}
+		res2 := *e.res
+		res2.Map = pm
+		res.Traffic = &TrafficDelta{
+			Probes: probes,
+			Before: e.baselineTraffic(ctx, probes),
+			After:  e.trafficOn(ctx, &res2, probes),
+		}
+	}
+
+	sp.SetItems(int64(len(cuts) + res.LinksRemoved + res.ConduitsAdded))
+	return res, nil
+}
+
+// ResolveCuts materializes the scenario's cut clauses against the
+// baseline map into one sorted, de-duplicated conduit set.
+func (e *Engine) ResolveCuts(sc Scenario) ([]fiber.ConduitID, error) {
+	m := e.res.Map
+	var cuts []fiber.ConduitID
+	for _, cid := range sc.CutConduits {
+		if int(cid) >= len(m.Conduits) {
+			return nil, fmt.Errorf("scenario: conduit %d out of range (map has %d)", cid, len(m.Conduits))
+		}
+		cuts = append(cuts, cid)
+	}
+	if sc.CutMostShared > 0 {
+		cuts = append(cuts, e.mx.TopShared(sc.CutMostShared)...)
+	}
+	if sc.CutMostBetween > 0 {
+		cuts = append(cuts, resilience.TargetedByBetweenness(m, sc.CutMostBetween)...)
+	}
+	for _, r := range sc.Regions {
+		cuts = append(cuts, resilience.ConduitsInRegion(m, resilience.Region{
+			Center:   geo.Point{Lat: r.Lat, Lon: r.Lon},
+			RadiusKm: r.RadiusKm,
+		})...)
+	}
+	return dedupeIDs(cuts), nil
+}
+
+// applyAddition materializes one new build on the perturbed map. An
+// empty tenant list means open access: every kept baseline provider
+// lights the new conduit.
+func applyAddition(pm *fiber.Map, ad Addition, kept []string) error {
+	a, ok := pm.NodeByKey(ad.A)
+	if !ok {
+		return fmt.Errorf("scenario: unknown node %q in addition", ad.A)
+	}
+	b, ok := pm.NodeByKey(ad.B)
+	if !ok {
+		return fmt.Errorf("scenario: unknown node %q in addition", ad.B)
+	}
+	path := geo.Polyline{pm.Node(a).Loc, pm.Node(b).Loc}
+	cid := pm.EnsureConduit(a, b, -1, path)
+	tenants := ad.Tenants
+	if len(tenants) == 0 {
+		tenants = kept
+	}
+	for _, isp := range tenants {
+		pm.AddTenant(cid, isp)
+	}
+	return nil
+}
+
+// FromAdditions converts the §5.2 optimizer's chosen builds into
+// scenario additions (open access, matching the paper's framing where
+// any provider may re-route over a new conduit).
+func FromAdditions(m *fiber.Map, adds []mitigate.Addition) []Addition {
+	out := make([]Addition, 0, len(adds))
+	for _, ad := range adds {
+		out = append(out, Addition{
+			A: m.Node(ad.A).Key(),
+			B: m.Node(ad.B).Key(),
+		})
+	}
+	return out
+}

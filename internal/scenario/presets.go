@@ -1,0 +1,67 @@
+package scenario
+
+import "sort"
+
+// presets.go names the scenarios the paper's narrative keeps coming
+// back to, so CLIs and the HTTP API can ask for them without spelling
+// out the spec. Presets are plain Scenario values; callers may
+// compose more perturbations on top (see Resolve).
+
+// presets maps name -> scenario. Keep values literal: a preset must
+// canonicalize and hash identically across processes.
+var presets = map[string]Scenario{
+	// The §5 target set: the 12 most-shared conduits (shared by more
+	// than 17 of 20 ISPs) all cut at once.
+	"top12-cut": {
+		Name:          "top12-cut",
+		CutMostShared: 12,
+	},
+	// A targeted attacker with perfect topology knowledge: the eight
+	// highest-betweenness conduits.
+	"backbone-attack": {
+		Name:           "backbone-attack",
+		CutMostBetween: 8,
+	},
+	// A major hurricane over the Gulf Coast (the paper cites exactly
+	// this class of geographically correlated failure).
+	"gulf-hurricane": {
+		Name:    "gulf-hurricane",
+		Regions: []Region{{Lat: 29.95, Lon: -90.07, RadiusKm: 350}},
+	},
+	// A Cascadia-subduction earthquake around Puget Sound.
+	"cascadia-quake": {
+		Name:    "cascadia-quake",
+		Regions: []Region{{Lat: 47.61, Lon: -122.33, RadiusKm: 250}},
+	},
+	// The dominant transit provider exits the market (Table 4's
+	// headline ISP) — who inherits the shared-risk landscape?
+	"level3-exit": {
+		Name:       "level3-exit",
+		RemoveISPs: []string{"Level 3"},
+	},
+}
+
+// Preset returns the named preset scenario.
+func Preset(name string) (Scenario, bool) {
+	sc, ok := presets[name]
+	return sc, ok
+}
+
+// PresetNames lists the preset names, sorted.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Presets returns every preset scenario, sorted by name.
+func Presets() []Scenario {
+	out := make([]Scenario, 0, len(presets))
+	for _, name := range PresetNames() {
+		out = append(out, presets[name])
+	}
+	return out
+}

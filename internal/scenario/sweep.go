@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"context"
+
+	"intertubes/internal/obs"
+	"intertubes/internal/par"
+)
+
+// sweep.go is the batch runner: evaluate a grid of scenarios over the
+// internal/par worker pool. It honors the same determinism contract
+// as the other hot paths — the returned slice is bit-identical for
+// any worker count, because each evaluation is pure and results land
+// at their input index (ordered reduce, never completion order).
+
+// Outcome pairs one sweep slot with its evaluation error; exactly one
+// of Result/Err is set.
+type Outcome struct {
+	Result *Result `json:"result,omitempty"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// Sweep evaluates every scenario against the engine, fanning out over
+// up to workers goroutines (<= 0 means all CPUs). Outcomes are in
+// input order; a failed scenario fails its slot, not the sweep.
+func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outcome {
+	_, sp := obs.Trace(ctx, "scenario.sweep")
+	sp.SetWorkers(par.Workers(workers))
+	sp.SetItems(int64(len(scs)))
+	defer sp.End()
+	// The baseline is shared state guarded by sync.Once; forcing it
+	// here keeps each parallel evaluation read-only.
+	eng.baseline()
+	return par.Map(len(scs), workers, func(i int) Outcome {
+		res, err := eng.Evaluate(ctx, scs[i])
+		if err != nil {
+			return Outcome{Err: err.Error()}
+		}
+		return Outcome{Result: res}
+	})
+}

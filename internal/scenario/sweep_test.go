@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"intertubes/internal/fiber"
+)
+
+func sweepGrid() []Scenario {
+	scs := []Scenario{
+		{Preset: "top12-cut"},
+		{Preset: "gulf-hurricane"},
+		{Preset: "level3-exit"},
+		{CutMostBetween: 4},
+		{CutConduits: []fiber.ConduitID{1 << 30}}, // deliberately failing slot
+	}
+	for i := 0; i < 4; i++ {
+		scs = append(scs, Scenario{CutConduits: []fiber.ConduitID{fiber.ConduitID(i)}})
+	}
+	return scs
+}
+
+// TestSweepWorkerInvariance is the acceptance criterion: a sweep is
+// bit-identical for Workers in {1, 4, NumCPU}.
+func TestSweepWorkerInvariance(t *testing.T) {
+	ctx := context.Background()
+	scs := sweepGrid()
+
+	var golden []byte
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		eng := newEngine(t, workers)
+		out := Sweep(ctx, eng, scs, workers)
+		if len(out) != len(scs) {
+			t.Fatalf("workers=%d: %d outcomes for %d scenarios", workers, len(out), len(scs))
+		}
+		buf, err := json.Marshal(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if golden == nil {
+			golden = buf
+		} else if string(buf) != string(golden) {
+			t.Errorf("workers=%d: sweep output differs from workers=1", workers)
+		}
+	}
+}
+
+func TestSweepOutcomeOrderAndErrors(t *testing.T) {
+	eng := newEngine(t, 0)
+	scs := sweepGrid()
+	out := Sweep(context.Background(), eng, scs, 0)
+
+	for i, o := range out {
+		failing := len(scs[i].CutConduits) == 1 && scs[i].CutConduits[0] == 1<<30
+		if failing {
+			if o.Err == "" || o.Result != nil {
+				t.Errorf("slot %d: expected error outcome, got %+v", i, o)
+			}
+			continue
+		}
+		if o.Err != "" || o.Result == nil {
+			t.Errorf("slot %d: unexpected error %q", i, o.Err)
+			continue
+		}
+		// The outcome must sit at its input index, not completion order.
+		want, err := Resolve(scs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Result.Hash != want.Hash() {
+			t.Errorf("slot %d: hash %s, want %s", i, o.Result.Hash, want.Hash())
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	eng := newEngine(t, 0)
+	if out := Sweep(context.Background(), eng, nil, 0); len(out) != 0 {
+		t.Errorf("empty sweep returned %v", out)
+	}
+}

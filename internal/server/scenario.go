@@ -1,0 +1,88 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"intertubes/internal/scenario"
+)
+
+// scenario.go serves the what-if engine: POST a declarative Scenario,
+// get the evaluated deltas back. Responses are cached by scenario
+// content hash (LRU + singleflight in scenario.Cache), so identical
+// queries — however concurrent — cost one evaluation, and every
+// response for a given hash is byte-identical.
+
+// maxScenarioBody bounds a scenario spec upload; real specs are a few
+// hundred bytes.
+const maxScenarioBody = 1 << 20
+
+// decodeScenario parses the request body into a Scenario, rejecting
+// unknown fields so typos fail loudly instead of evaluating the
+// baseline.
+func decodeScenario(r *http.Request) (scenario.Scenario, error) {
+	var sc scenario.Scenario
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxScenarioBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return sc, fmt.Errorf("invalid scenario spec: %w", err)
+	}
+	return sc, nil
+}
+
+// handleScenario evaluates a posted scenario and serves the Result.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	sc, err := decodeScenario(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.study.Scenarios().Eval(r.Context(), sc)
+	if err != nil {
+		s.scenarioError(w, r, err)
+		return
+	}
+	s.writeJSON(w, res)
+}
+
+// handleScenarioReport is the rendered-text variant of POST
+// /api/scenario.
+func (s *Server) handleScenarioReport(w http.ResponseWriter, r *http.Request) {
+	sc, err := decodeScenario(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.study.Scenarios().Eval(r.Context(), sc)
+	if err != nil {
+		s.scenarioError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := fmt.Fprint(w, scenario.Render(res)); err != nil {
+		s.reportWriteError(err)
+	}
+}
+
+// handleScenarios lists the available presets and the currently cached
+// results (most recently used first).
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]any{
+		"presets": scenario.Presets(),
+		"cached":  s.study.Scenarios().Entries(),
+	})
+}
+
+// scenarioError maps an evaluation failure: a canceled request is the
+// client's doing, anything else is a bad spec (unknown preset, node,
+// or conduit).
+func (s *Server) scenarioError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "evaluation canceled")
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, err.Error())
+}

@@ -4,7 +4,8 @@
 // programmatic counterpart of the paper's data release through the
 // PREDICT portal.
 //
-// The API is read-only and JSON-first:
+// The API is side-effect-free and JSON-first (the scenario POSTs
+// evaluate queries; they never mutate the study):
 //
 //	GET /healthz                    liveness
 //	GET /metrics                    Prometheus text exposition
@@ -19,6 +20,9 @@
 //	GET /api/figures/{name}         rendered artifact (text/plain)
 //	GET /api/annotated?limit=N      annotated map (traffic + delay per conduit)
 //	GET /api/resilience             partition costs + conduit criticality
+//	POST /api/scenario              evaluate a what-if scenario (JSON deltas)
+//	POST /api/scenario/report       same, rendered as text
+//	GET /api/scenarios              scenario presets + cached results
 //	GET /geojson/{layer}            fibermap | roads | rails | pipelines | annotated
 //
 // Every request is measured (count, duration, status, bytes, per
@@ -209,6 +213,9 @@ func (s *Server) registerRoutes() {
 	s.handle("GET /api/figures/{name}", s.handleFigure)
 	s.handle("GET /api/annotated", s.handleAnnotated)
 	s.handle("GET /api/resilience", s.handleResilience)
+	s.handle("POST /api/scenario", s.handleScenario)
+	s.handle("POST /api/scenario/report", s.handleScenarioReport)
+	s.handle("GET /api/scenarios", s.handleScenarios)
 	s.handle("GET /geojson/{layer}", s.handleGeoJSON)
 }
 

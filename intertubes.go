@@ -37,6 +37,7 @@ import (
 	"intertubes/internal/records"
 	"intertubes/internal/report"
 	"intertubes/internal/risk"
+	"intertubes/internal/scenario"
 	"intertubes/internal/traceroute"
 )
 
@@ -108,6 +109,7 @@ type Study struct {
 	rob  []mitigate.ISPRobustness
 	add  *mitigate.AddResult
 	colo []geo.Colocation
+	scen *scenario.Cache
 }
 
 // NewStudy builds the long-haul map (§2) and the risk matrix (§4.1).
@@ -301,7 +303,13 @@ func pct(n, d int) float64 {
 // RenderFigure4 reproduces the §3 co-location histogram: the fraction
 // of each conduit's route co-located with roads, rails, or either.
 func (s *Study) RenderFigure4() string {
-	colo := s.Colocation()
+	return renderFigure4(s.Colocation())
+}
+
+// renderFigure4 renders the co-location histogram for a computed
+// analysis. An empty analysis renders an empty table instead of
+// dividing by zero.
+func renderFigure4(colo []geo.Colocation) string {
 	bins := 5
 	roadH := make([]int, bins+1)
 	railH := make([]int, bins+1)
@@ -326,6 +334,10 @@ func (s *Study) RenderFigure4() string {
 		Headers: []string{"co-located fraction", "rail", "road", "rail or road"},
 	}
 	n := float64(len(colo))
+	if n == 0 {
+		// No analyzed conduits: an empty table, not a NaN histogram.
+		return t.String() + "no co-location data (no tenanted conduits analyzed)\n"
+	}
 	for b := 0; b <= bins; b++ {
 		lo := float64(b) / float64(bins)
 		label := fmt.Sprintf("%.1f-%.1f", lo, lo+1.0/float64(bins))
@@ -524,7 +536,8 @@ func (s *Study) RenderFigure12() string {
 // close the gap between deployed fiber delay and the right-of-way
 // bound (§5.3's constructive conclusion).
 func (s *Study) LatencyImprovements(k int) []mitigate.LatencyImprovement {
-	return mitigate.LatencyImprovements(s.res.Map, s.res.Atlas, s.Latency(), k, mitigate.LatencyOptions{})
+	return mitigate.LatencyImprovements(s.res.Map, s.res.Atlas, s.Latency(), k,
+		mitigate.LatencyOptions{Workers: s.opts.Workers})
 }
 
 // ExportGeoJSON writes the map and the road/rail/pipeline layers as
