@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench clean
+.PHONY: build test race vet verify fuzz bench clean
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,14 @@ race:
 vet:
 	$(GO) vet ./...
 
-# verify is the full pre-merge gate: vet, build, tests, race detector.
+# verify is the full pre-merge gate: vet, build, tests, race detector,
+# fuzz smoke (skip the last with SKIP_FUZZ=1).
 verify:
 	sh scripts/verify.sh
+
+# fuzz runs every native fuzz target for a short burst (FUZZTIME=10s).
+fuzz:
+	sh scripts/fuzz.sh
 
 # bench runs the benchmark suite and writes BENCH_obs.json.
 bench:

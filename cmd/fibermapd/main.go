@@ -6,12 +6,16 @@
 //
 //	fibermapd [-addr :8080] [-seed 42] [-probes 100000]
 //	          [-log-level info] [-v] [-timings] [-debug-addr :6060]
+//	          [-scenario-inflight 8] [-scenario-queue 16]
 //
 // The server builds the full study at startup (a few seconds) and then
 // serves immutable results; SIGINT/SIGTERM drain connections
-// gracefully. -timings prints the per-stage build report after the
+// gracefully, and a failed listener drains its sibling before the
+// process exits. -timings prints the per-stage build report after the
 // study is ready; -debug-addr starts a second listener with pprof,
-// expvar, and the Prometheus metrics.
+// expvar, and the Prometheus metrics. -scenario-inflight and
+// -scenario-queue tune the admission limiter on the scenario routes
+// (overflow is shed with 429 + Retry-After).
 package main
 
 import (
@@ -42,37 +46,69 @@ func main() {
 		logger.Error("setup failed", "err", err)
 		os.Exit(1)
 	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	os.Exit(serve(srv, debugSrv, logger, stop))
+}
 
-	errCh := make(chan error, 2)
+// listenerErr tags a listener failure with which listener it was, so
+// the drain log reads unambiguously.
+type listenerErr struct {
+	name string
+	err  error
+}
+
+// serve runs the API listener (and the debug listener, when
+// configured) until a stop signal or the first listener failure, then
+// drains every listener that is still serving before returning the
+// process exit code.
+//
+// The drain-on-failure ordering is the point: if one listener fails at
+// startup — the debug port already bound is the classic — the process
+// must not exit with the other listener still holding live
+// connections. Shutdown on the listener that failed is a harmless
+// no-op, so both are always drained regardless of which one died.
+func serve(srv, debugSrv *http.Server, logger *slog.Logger, stop <-chan os.Signal) int {
+	errCh := make(chan listenerErr, 2)
 	go func() {
 		logger.Info("listening", "addr", srv.Addr)
-		errCh <- srv.ListenAndServe()
+		errCh <- listenerErr{name: "api", err: srv.ListenAndServe()}
 	}()
 	if debugSrv != nil {
 		go func() {
 			logger.Info("debug listener up", "addr", debugSrv.Addr)
-			errCh <- debugSrv.ListenAndServe()
+			errCh <- listenerErr{name: "debug", err: debugSrv.ListenAndServe()}
 		}()
 	}
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	select {
-	case sig := <-stop:
-		logger.Info("draining", "signal", sig.String())
+	shutdownAll := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			logger.Warn("shutdown", "err", err)
+			logger.Warn("shutdown", "listener", "api", "err", err)
 		}
 		if debugSrv != nil {
-			_ = debugSrv.Shutdown(ctx)
+			if err := debugSrv.Shutdown(ctx); err != nil {
+				logger.Warn("shutdown", "listener", "debug", "err", err)
+			}
 		}
-	case err := <-errCh:
-		if !errors.Is(err, http.ErrServerClosed) {
-			logger.Error("serve failed", "err", err)
-			os.Exit(1)
+	}
+
+	select {
+	case sig := <-stop:
+		logger.Info("draining", "signal", sig.String())
+		shutdownAll()
+		return 0
+	case e := <-errCh:
+		if errors.Is(e.err, http.ErrServerClosed) {
+			// Someone shut a listener down cleanly out from under us;
+			// drain the rest and exit clean.
+			shutdownAll()
+			return 0
 		}
+		logger.Error("serve failed", "listener", e.name, "err", e.err)
+		shutdownAll()
+		return 1
 	}
 }
 
@@ -90,6 +126,8 @@ func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, erro
 		verbose   = fs.Bool("v", false, "shorthand for -log-level debug")
 		timings   = fs.Bool("timings", false, "print the per-stage build report after the study is built")
 		debugAddr = fs.String("debug-addr", "", "optional listen address for pprof/expvar/metrics (e.g. :6060); empty disables")
+		inFlight  = fs.Int("scenario-inflight", server.DefaultScenarioInFlight, "max concurrently evaluating scenario requests")
+		queue     = fs.Int("scenario-queue", server.DefaultScenarioQueue, "scenario requests allowed to wait for a slot before 429 shedding")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, nil, err
@@ -101,7 +139,10 @@ func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, erro
 	logger.Info("building study", "seed", *seed, "probes", *probes)
 	start := time.Now()
 	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes, Workers: *workers})
-	handler := server.New(study, logger)
+	handler := server.NewWithConfig(study, logger, server.Config{
+		ScenarioInFlight: *inFlight,
+		ScenarioQueue:    *queue,
+	})
 	logger.Info("study ready", "elapsed", time.Since(start).Round(time.Millisecond))
 	if *timings {
 		fmt.Fprint(os.Stderr, study.BuildReport())

@@ -2,9 +2,14 @@ package main
 
 import (
 	"io"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"intertubes/internal/obs"
 )
@@ -46,6 +51,98 @@ func TestSetupBadFlags(t *testing.T) {
 	if _, _, err := setup([]string{"-bogus"}, obs.Logger("test")); err == nil {
 		t.Error("expected flag error")
 	}
+}
+
+// occupiedAddr binds a port for the duration of the test and returns
+// its address, so a server given that address fails to listen.
+func occupiedAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String()
+}
+
+// drainObserved wires a Shutdown observation onto a server: the
+// returned channel closes when (and only when) the server is drained.
+func drainObserved(srv *http.Server) <-chan struct{} {
+	ch := make(chan struct{})
+	srv.RegisterOnShutdown(func() { close(ch) })
+	return ch
+}
+
+func waitDrained(t *testing.T, name string, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s listener was not drained", name)
+	}
+}
+
+// TestServeDebugFailureDrainsAPI pins the startup-failure fix: a debug
+// listener that cannot bind must drain the API listener before the
+// process exits, not abandon it mid-flight.
+func TestServeDebugFailureDrainsAPI(t *testing.T) {
+	quietLogger(t)
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: http.NewServeMux()}
+	debugSrv := &http.Server{Addr: occupiedAddr(t), Handler: http.NewServeMux()}
+	apiDrained := drainObserved(srv)
+
+	stop := make(chan os.Signal)
+	if code := serve(srv, debugSrv, obs.Logger("test"), stop); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	waitDrained(t, "api", apiDrained)
+}
+
+// TestServeAPIFailureDrainsDebug is the mirrored ordering: the API
+// listener failing must drain the debug listener.
+func TestServeAPIFailureDrainsDebug(t *testing.T) {
+	quietLogger(t)
+	srv := &http.Server{Addr: occupiedAddr(t), Handler: http.NewServeMux()}
+	debugSrv := &http.Server{Addr: "127.0.0.1:0", Handler: http.NewServeMux()}
+	debugDrained := drainObserved(debugSrv)
+
+	stop := make(chan os.Signal)
+	if code := serve(srv, debugSrv, obs.Logger("test"), stop); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	waitDrained(t, "debug", debugDrained)
+}
+
+// TestServeSignalDrainsBoth covers the clean path: a stop signal
+// drains both listeners and exits 0.
+func TestServeSignalDrainsBoth(t *testing.T) {
+	quietLogger(t)
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: http.NewServeMux()}
+	debugSrv := &http.Server{Addr: "127.0.0.1:0", Handler: http.NewServeMux()}
+	apiDrained := drainObserved(srv)
+	debugDrained := drainObserved(debugSrv)
+
+	stop := make(chan os.Signal, 1)
+	stop <- syscall.SIGTERM
+	if code := serve(srv, debugSrv, obs.Logger("test"), stop); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	waitDrained(t, "api", apiDrained)
+	waitDrained(t, "debug", debugDrained)
+}
+
+// TestServeNoDebugSignal covers the common production shape: no debug
+// listener configured.
+func TestServeNoDebugSignal(t *testing.T) {
+	quietLogger(t)
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: http.NewServeMux()}
+	apiDrained := drainObserved(srv)
+	stop := make(chan os.Signal, 1)
+	stop <- syscall.SIGTERM
+	if code := serve(srv, nil, obs.Logger("test"), stop); code != 0 {
+		t.Errorf("exit code = %d, want 0", code)
+	}
+	waitDrained(t, "api", apiDrained)
 }
 
 func TestDebugServer(t *testing.T) {

@@ -1,6 +1,7 @@
 package mitigate
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -108,6 +109,16 @@ func ispTargets(m *fiber.Map, mx *risk.Matrix, isp string, n int) []fiber.Condui
 // computed against the original matrix, so Improvement[isp] is a
 // non-decreasing series in k.
 func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
+	res, _ := AddConduitsCtx(context.Background(), m, mx, opts) // background ctx: cannot fail
+	return res
+}
+
+// AddConduitsCtx is AddConduits with cooperative cancellation: ctx is
+// checked between greedy steps and at every chunk grant of the
+// distance-field and candidate-scoring scans, so a canceled sweep
+// stops within one scan and returns (nil, ctx.Err()). A completed
+// sweep chooses identical additions at any worker count.
+func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts AddOptions) (*AddResult, error) {
 	opts = opts.withDefaults()
 	g := m.Graph() // mutated as conduits are added
 
@@ -229,6 +240,9 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 	}
 
 	for step := 0; step < opts.K; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Per-target fields used to score every candidate in O(1):
 		// summed-SR distances (fast approximation) or minimax
 		// worst-sharing distances (exact), weighted by how many ISPs
@@ -255,7 +269,7 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 				fieldOrder = append(fieldOrder, tgt)
 			}
 		}
-		par.For(len(fieldOrder), opts.Workers, func(i int) {
+		err := par.RunCtx(ctx, len(fieldOrder), opts.Workers, func(i int) {
 			tgt := fieldOrder[i]
 			f := fields[tgt]
 			c := m.Conduit(tgt)
@@ -279,6 +293,9 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 				f.current = cur
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		// Score candidates: a candidate (u,v) helps target t if
 		// routing endpointA ->u -> new conduit -> v-> endpointB (or the
 		// reverse) beats both the original conduit and the current
@@ -288,7 +305,7 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 		// independent, and the per-candidate float accumulation always
 		// walks fieldOrder — never map order — so the scan is both
 		// parallelizable and run-to-run deterministic.
-		scores := par.Map(len(cands), opts.Workers, func(ci int) float64 {
+		scores, err := par.MapCtx(ctx, len(cands), opts.Workers, func(ci int) float64 {
 			cand := cands[ci]
 			var gain float64
 			for _, tgt := range fieldOrder {
@@ -329,6 +346,9 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 			}
 			return gain - opts.Alpha*cand.km/1000
 		})
+		if err != nil {
+			return nil, err
+		}
 		// Ordered reduce: the first strict improvement wins, exactly
 		// as the serial scan behaved.
 		bestIdx, bestScore := -1, 0.0
@@ -367,5 +387,5 @@ func AddConduits(m *fiber.Map, mx *risk.Matrix, opts AddOptions) *AddResult {
 			res.Improvement[st.name] = append(prev, impr)
 		}
 	}
-	return res
+	return res, nil
 }

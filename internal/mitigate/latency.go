@@ -1,6 +1,7 @@
 package mitigate
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -110,6 +111,15 @@ func rowGraph(a *atlas.Atlas, opts LatencyOptions) *graph.Graph {
 // cities meet the population threshold and that are connected through
 // lit conduits. Pairs appear once (A < B).
 func LatencyStudy(m *fiber.Map, a *atlas.Atlas, opts LatencyOptions) []PairLatency {
+	study, _ := LatencyStudyCtx(context.Background(), m, a, opts) // background ctx: cannot fail
+	return study
+}
+
+// LatencyStudyCtx is LatencyStudy with cooperative cancellation: the
+// all-pairs sweep stops granting chunks once ctx is canceled and the
+// call returns (nil, ctx.Err()). A completed study is bit-identical
+// to LatencyStudy at any worker count.
+func LatencyStudyCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, opts LatencyOptions) ([]PairLatency, error) {
 	opts = opts.withDefaults()
 	g := m.Graph()
 	rg := rowGraph(a, opts)
@@ -149,7 +159,7 @@ func LatencyStudy(m *fiber.Map, a *atlas.Atlas, opts LatencyOptions) []PairLaten
 		ok bool
 	}
 	litWF := m.LitWeight()
-	computed := par.Map(len(pairs), opts.Workers, func(i int) pairResult {
+	computed, err := par.MapCtx(ctx, len(pairs), opts.Workers, func(i int) pairResult {
 		p := pairs[i]
 		na, nb := m.Node(p.a), m.Node(p.b)
 		pl := PairLatency{A: p.a, B: p.b}
@@ -184,13 +194,16 @@ func LatencyStudy(m *fiber.Map, a *atlas.Atlas, opts LatencyOptions) []PairLaten
 		}
 		return pairResult{pl: pl, ok: true}
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]PairLatency, 0, len(pairs))
 	for _, r := range computed {
 		if r.ok {
 			out = append(out, r.pl)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // LatencySummary aggregates Figure 12's headline comparisons.

@@ -1,6 +1,7 @@
 package mitigate
 
 import (
+	"context"
 	"sort"
 
 	"intertubes/internal/atlas"
@@ -36,6 +37,14 @@ type LatencyImprovement struct {
 // latency study. Pairs whose best path already matches the ROW bound
 // are skipped.
 func LatencyImprovements(m *fiber.Map, a *atlas.Atlas, study []PairLatency, k int, opts LatencyOptions) []LatencyImprovement {
+	out, _ := LatencyImprovementsCtx(context.Background(), m, a, study, k, opts) // background ctx: cannot fail
+	return out
+}
+
+// LatencyImprovementsCtx is LatencyImprovements with cooperative
+// cancellation of the per-pair ROW-graph scan; a completed call is
+// bit-identical to LatencyImprovements at any worker count.
+func LatencyImprovementsCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, study []PairLatency, k int, opts LatencyOptions) ([]LatencyImprovement, error) {
 	opts = opts.withDefaults()
 	rg := rowGraph(a, opts)
 	nCorridors := len(a.Corridors)
@@ -53,7 +62,7 @@ func LatencyImprovements(m *fiber.Map, a *atlas.Atlas, study []PairLatency, k in
 	// sweep fans out over the worker pool; skipped pairs are filtered
 	// during the ordered reduce, keeping the output identical for any
 	// worker count.
-	computed := par.Map(len(study), opts.Workers, func(i int) *LatencyImprovement {
+	computed, err := par.MapCtx(ctx, len(study), opts.Workers, func(i int) *LatencyImprovement {
 		pl := study[i]
 		if pl.BestMs <= pl.RowMs*1.02 {
 			return nil // already at the ROW bound
@@ -92,6 +101,9 @@ func LatencyImprovements(m *fiber.Map, a *atlas.Atlas, study []PairLatency, k in
 		}
 		return &imp
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []LatencyImprovement
 	for _, imp := range computed {
 		if imp != nil {
@@ -127,5 +139,5 @@ func LatencyImprovements(m *fiber.Map, a *atlas.Atlas, study []PairLatency, k in
 	if len(out) > k {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,184 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ctx_test.go pins the cancellation contract of the ctx-aware pool
+// entry points: prompt ctx.Err() on cancel, no goroutine leaks, and —
+// the load-bearing half — completed runs bit-identical to their
+// non-ctx counterparts at every worker count.
+
+func TestRunCtxNilContextCompletes(t *testing.T) {
+	var visits atomic.Int64
+	if err := RunCtx(nil, 1000, 4, func(int) { visits.Add(1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if visits.Load() != 1000 {
+		t.Errorf("visits = %d", visits.Load())
+	}
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var visits atomic.Int64
+	err := RunCtx(ctx, 10000, 4, func(int) { visits.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visits.Load() != 0 {
+		t.Errorf("pre-canceled run visited %d indices, want 0", visits.Load())
+	}
+}
+
+// TestRunCtxCanceledMidRun cancels from inside fn and checks that the
+// run stops granting chunks promptly (the claimed chunks drain, but
+// nothing close to the full range executes) and returns ctx.Err().
+func TestRunCtxCanceledMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var visits atomic.Int64
+		const n = 1 << 20
+		err := RunCtx(ctx, n, workers, func(int) {
+			if visits.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight chunks finish (up to workers*ChunkSize items plus
+		// the triggering chunk); anything well under n proves the grant
+		// loop stopped.
+		if v := visits.Load(); v >= n/2 {
+			t.Errorf("workers=%d: %d of %d indices ran after cancel", workers, v, n)
+		}
+		cancel()
+	}
+}
+
+// TestRunCtxNoGoroutineLeak: a canceled run must not leave pool
+// workers behind.
+func TestRunCtxNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var visits atomic.Int64
+		_ = RunCtx(ctx, 1<<18, 8, func(int) {
+			if visits.Add(1) == 5 {
+				cancel()
+			}
+		})
+		cancel()
+	}
+	// Give exiting workers a beat, then compare against the baseline
+	// with slack for unrelated runtime goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, started with %d", g, before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMapCtxMatchesMapEveryWorkerCount is the determinism half of the
+// contract: a completed MapCtx run is byte-identical to Map at every
+// worker count.
+func TestMapCtxMatchesMapEveryWorkerCount(t *testing.T) {
+	const n = 5000
+	fn := func(i int) int { return i*i - 7*i }
+	want := Map(n, 1, fn)
+	for _, workers := range []int{1, 2, 3, 5, 8, 16} {
+		got, err := MapCtx(context.Background(), n, workers, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapSeededCtxMatchesMapSeeded pins the seeded variant: chunk rand
+// streams must be untouched by the ctx plumbing.
+func TestMapSeededCtxMatchesMapSeeded(t *testing.T) {
+	const n, seed = 3000, 99
+	fn := func(i int, rng *rand.Rand) float64 { return float64(i) + rng.Float64() }
+	want := MapSeeded(n, 1, seed, fn)
+	for _, workers := range []int{1, 3, 7, 12} {
+		got, err := MapSeededCtx(context.Background(), n, workers, seed, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapCtxCanceledKeepsLength: cancellation truncates which chunks
+// ran, never the slice shape callers index into.
+func TestMapCtxCanceledKeepsLength(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var visits atomic.Int64
+	const n = 1 << 19
+	out, err := MapCtx(ctx, n, 4, func(i int) int {
+		if visits.Add(1) == 3 {
+			cancel()
+		}
+		return i + 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(out) != n {
+		t.Fatalf("len = %d, want %d", len(out), n)
+	}
+	// Every slot is either untouched (zero) or fully computed.
+	for i, v := range out {
+		if v != 0 && v != i+1 {
+			t.Fatalf("out[%d] = %d: neither zero nor fn(i)", i, v)
+		}
+	}
+}
+
+// TestRunCtxCanceledCounter: aborted runs are visible in the pool
+// metrics.
+func TestRunCtxCanceledCounter(t *testing.T) {
+	before := poolCanceled.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = RunCtx(ctx, 100, 2, func(int) {})
+	if got := poolCanceled.Value(); got != before+1 {
+		t.Errorf("par_runs_canceled_total = %d, want %d", got, before+1)
+	}
+}
+
+// TestMapSeededRangeCtxDeadline exercises deadline-based cancellation
+// on the windowed entry point used by the traceroute campaign.
+func TestMapSeededRangeCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := MapSeededRangeCtx(ctx, 0, 1<<19, 4, 7, func(i int, _ *rand.Rand) int {
+		time.Sleep(10 * time.Microsecond)
+		return i
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}

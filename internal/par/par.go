@@ -24,6 +24,7 @@
 package par
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -52,6 +53,8 @@ var (
 		"Summed per-worker busy time per pool run.", nil)
 	poolQueueWait = obs.GetHistogram("par_run_queue_wait_seconds",
 		"Per-run idle capacity: workers x wall minus busy time.", nil)
+	poolCanceled = obs.GetCounter("par_runs_canceled_total",
+		"Pool runs aborted by context cancellation before all chunks ran.")
 )
 
 // ChunkSize is the number of consecutive indices a worker claims at a
@@ -98,16 +101,36 @@ func ChunkSeed(seed int64, chunk int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// forChunks runs fn over every chunk of the absolute index range
+// forChunks runs fn over every chunk without a cancellation context;
+// it can never fail.
+func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
+	_ = forChunksCtx(nil, lo, hi, workers, fn)
+}
+
+// forChunksCtx runs fn over every chunk of the absolute index range
 // [lo, hi), claiming chunks from a shared atomic counter. The grid is
 // absolute: a chunk's index is its position in [0, ...), so a caller
 // processing a window [lo, hi) of a larger range sees the same chunk
 // seeds the whole-range call would. fn receives the chunk index and
 // the clipped [clo, chi) item range. A panic in any worker is
 // re-raised in the caller.
-func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
+//
+// Cancellation is cooperative and checked only at chunk-grant
+// boundaries: a claimed chunk always runs to completion, no further
+// chunks are granted once ctx is canceled, and the call returns
+// ctx.Err(). Because cancellation can only truncate the set of chunks
+// executed — never reorder them or move the grid — a run that returns
+// nil is bit-identical to the serial order. A nil ctx means the run
+// cannot be canceled.
+func forChunksCtx(ctx context.Context, lo, hi, workers int, fn func(chunk, clo, chi int)) error {
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	if hi <= lo {
-		return
+		return ctxErr()
 	}
 	firstChunk := lo / ChunkSize
 	lastChunk := (hi - 1) / ChunkSize
@@ -151,16 +174,22 @@ func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
 	}
 	if workers <= 1 {
 		for c := firstChunk; c <= lastChunk; c++ {
+			if err := ctxErr(); err != nil {
+				poolCanceled.Inc()
+				finish()
+				return err
+			}
 			run(c)
 		}
 		finish()
-		return
+		return nil
 	}
 	var (
-		next    atomic.Int64
-		wg      sync.WaitGroup
-		panicMu sync.Mutex
-		panicV  any
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicV   any
+		canceled atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -176,6 +205,15 @@ func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
 				}
 			}()
 			for {
+				// Chunk-grant boundary: a canceled context stops the
+				// claim loop, but the chunk being executed finishes.
+				if canceled.Load() {
+					return
+				}
+				if err := ctxErr(); err != nil {
+					canceled.Store(true)
+					return
+				}
 				c := firstChunk + int(next.Add(1)) - 1
 				if c > lastChunk {
 					return
@@ -189,6 +227,11 @@ func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
 	if panicV != nil {
 		panic(panicV)
 	}
+	if canceled.Load() {
+		poolCanceled.Inc()
+		return ctxErr()
+	}
+	return nil
 }
 
 // For calls fn(i) for every i in [0, n) from up to `workers`
@@ -196,6 +239,21 @@ func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
 // fn must not depend on cross-index ordering.
 func For(n, workers int, fn func(i int)) {
 	forChunks(0, n, workers, func(_, clo, chi int) {
+		for i := clo; i < chi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// RunCtx is For with cooperative cancellation: fn is called for every
+// i in [0, n) unless ctx is canceled first. Cancellation is observed
+// only at chunk-grant boundaries, so a run that returns nil executed
+// every index exactly once in the same chunk order as For — the
+// worker-invariance contract is untouched. A canceled run returns
+// ctx.Err() after its in-flight chunks drain; no goroutines outlive
+// the call.
+func RunCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return forChunksCtx(ctx, 0, n, workers, func(_, clo, chi int) {
 		for i := clo; i < chi; i++ {
 			fn(i)
 		}
@@ -214,6 +272,22 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	return out
 }
 
+// MapCtx is Map with cooperative cancellation. On a nil error the
+// result is bit-identical to Map; on cancellation it returns the
+// partially filled slice (slots whose chunks never ran keep their
+// zero value) together with ctx.Err().
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	if n <= 0 {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := RunCtx(ctx, n, workers, func(i int) { out[i] = fn(i) })
+	return out, err
+}
+
 // MapSeeded is Map with a per-chunk *rand.Rand derived from seed:
 // chunk c gets rand.New(rand.NewSource(ChunkSeed(seed, c))), and the
 // indices of a chunk run in order sharing that stream. Because the
@@ -229,17 +303,36 @@ func MapSeeded[T any](n, workers int, seed int64, fn func(i int, rng *rand.Rand)
 // stream a long range through a bounded buffer window by window and
 // still produce exactly what one whole-range call would.
 func MapSeededRange[T any](lo, hi, workers int, seed int64, fn func(i int, rng *rand.Rand) T) []T {
+	out, _ := MapSeededRangeCtx[T](nil, lo, hi, workers, seed, fn)
+	return out
+}
+
+// MapSeededCtx is MapSeeded with cooperative cancellation (see
+// MapSeededRangeCtx).
+func MapSeededCtx[T any](ctx context.Context, n, workers int, seed int64, fn func(i int, rng *rand.Rand) T) ([]T, error) {
+	return MapSeededRangeCtx(ctx, 0, n, workers, seed, fn)
+}
+
+// MapSeededRangeCtx is MapSeededRange with cooperative cancellation.
+// The chunk grid and per-chunk rand streams are exactly those of the
+// uncancelled call, so a nil error guarantees a bit-identical result;
+// cancellation only truncates which chunks ran (partial slots keep
+// their zero value) and returns ctx.Err(). A nil ctx cannot cancel.
+func MapSeededRangeCtx[T any](ctx context.Context, lo, hi, workers int, seed int64, fn func(i int, rng *rand.Rand) T) ([]T, error) {
 	if hi <= lo {
-		return nil
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, nil
 	}
 	out := make([]T, hi-lo)
-	forChunks(lo, hi, workers, func(chunk, clo, chi int) {
+	err := forChunksCtx(ctx, lo, hi, workers, func(chunk, clo, chi int) {
 		rng := rand.New(rand.NewSource(ChunkSeed(seed, chunk)))
 		for i := clo; i < chi; i++ {
 			out[i-lo] = fn(i, rng)
 		}
 	})
-	return out
+	return out, err
 }
 
 // Memo is a mutex-guarded cache for pure computations shared by

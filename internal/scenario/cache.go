@@ -49,11 +49,19 @@ type entry struct {
 	res  *Result
 }
 
-// flight is one in-progress evaluation; followers block on done.
+// flight is one in-progress evaluation. It runs on its own goroutine
+// under a context detached from whichever caller happened to arrive
+// first, so one caller hanging up can never poison the result the
+// others receive. waiters counts the callers still interested; when
+// the last one abandons the flight, cancel stops the evaluation at
+// its next cancellation checkpoint.
 type flight struct {
-	done chan struct{}
-	res  *Result
-	err  error
+	done    chan struct{}
+	res     *Result
+	err     error
+	panicV  any // captured evaluation panic, re-raised in each waiter
+	cancel  context.CancelFunc
+	waiters int // guarded by Cache.mu
 }
 
 // NewCache wraps an engine in a query cache holding at most capacity
@@ -78,6 +86,14 @@ func (c *Cache) Engine() *Engine { return c.eng }
 // the hash is known, joining an identical in-flight evaluation when
 // one exists, and evaluating otherwise. Evaluation errors are
 // propagated to every waiter and never cached.
+//
+// The evaluation itself runs under a context derived from the FIRST
+// caller's values but not its cancellation: a leader that hangs up
+// merely drops its claim on the flight, and followers still receive
+// the real Result. Only when every waiter is gone is the evaluation
+// canceled — and the flight is unregistered at that moment, so a
+// caller arriving later starts fresh instead of inheriting a doomed
+// flight.
 func (c *Cache) Eval(ctx context.Context, sc Scenario) (*Result, error) {
 	sc, err := Resolve(sc)
 	if err != nil {
@@ -93,30 +109,71 @@ func (c *Cache) Eval(ctx context.Context, sc Scenario) (*Result, error) {
 		return el.Value.(*entry).res, nil
 	}
 	if fl, ok := c.inflight[hash]; ok {
+		fl.waiters++
 		c.mu.Unlock()
 		cacheCoalesced.Inc()
-		select {
-		case <-fl.done:
-			return fl.res, fl.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+		return c.wait(ctx, hash, fl)
 	}
-	fl := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	fl := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.inflight[hash] = fl
 	c.mu.Unlock()
 
 	cacheMisses.Inc()
-	fl.res, fl.err = c.eng.Evaluate(ctx, sc)
+	go c.run(fctx, hash, fl, sc)
+	return c.wait(ctx, hash, fl)
+}
 
-	c.mu.Lock()
-	delete(c.inflight, hash)
-	if fl.err == nil {
-		c.insert(hash, fl.res)
+// run executes one flight and publishes its outcome. A panicking
+// evaluation is captured here — the flight goroutine must not crash
+// the process — and re-raised in every waiter by wait.
+func (c *Cache) run(fctx context.Context, hash string, fl *flight, sc Scenario) {
+	defer func() {
+		fl.panicV = recover()
+		fl.cancel()
+		c.mu.Lock()
+		// Pointer compare: an abandoned flight may already have been
+		// replaced by a newer one for the same hash.
+		if c.inflight[hash] == fl {
+			delete(c.inflight, hash)
+		}
+		if fl.panicV == nil && fl.err == nil {
+			// Cache even if every waiter gave up first but the
+			// evaluation won the race and completed: the work is done
+			// and the next query should be a hit.
+			c.insert(hash, fl.res)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.res, fl.err = c.eng.Evaluate(fctx, sc)
+}
+
+// wait blocks one caller on a flight it holds a claim on. If the
+// caller's context ends first, the claim is dropped; dropping the last
+// claim cancels the evaluation and unregisters the flight. A panic
+// captured by run is re-raised here, in the waiter's own goroutine, so
+// the server's panic containment sees it exactly as if the evaluation
+// had run inline.
+func (c *Cache) wait(ctx context.Context, hash string, fl *flight) (*Result, error) {
+	select {
+	case <-fl.done:
+		if fl.panicV != nil {
+			panic(fl.panicV)
+		}
+		return fl.res, fl.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		fl.waiters--
+		if fl.waiters == 0 {
+			fl.cancel()
+			if c.inflight[hash] == fl {
+				delete(c.inflight, hash)
+			}
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	c.mu.Unlock()
-	close(fl.done)
-	return fl.res, fl.err
 }
 
 // insert adds a result and evicts from the LRU tail past capacity.

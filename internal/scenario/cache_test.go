@@ -2,11 +2,25 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"intertubes/internal/fiber"
 )
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 func TestCacheHit(t *testing.T) {
 	c := NewCache(newEngine(t, 0), 8)
@@ -164,6 +178,136 @@ func TestCacheDefaultCapacity(t *testing.T) {
 	c := NewCache(newEngine(t, 0), 0)
 	if c.cap != DefaultCacheCapacity {
 		t.Errorf("cap = %d, want %d", c.cap, DefaultCacheCapacity)
+	}
+}
+
+// TestCacheLeaderCancelFollowerGetsResult pins the singleflight
+// leader-context fix: the caller that started the evaluation hanging
+// up must not poison the result a coalesced follower receives.
+func TestCacheLeaderCancelFollowerGetsResult(t *testing.T) {
+	eng := newEngine(t, 0)
+	c := NewCache(eng, 8)
+	sc := Scenario{Preset: "backbone-attack"}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	eng.SetEvalHook(func(context.Context) {
+		close(started)
+		<-release
+	})
+	defer eng.SetEvalHook(nil)
+
+	evalsBefore := evaluations.Value()
+	coalescedBefore := cacheCoalesced.Value()
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Eval(leaderCtx, sc)
+		leaderErr <- err
+	}()
+	<-started
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	follower := make(chan outcome, 1)
+	go func() {
+		r, err := c.Eval(context.Background(), sc)
+		follower <- outcome{res: r, err: err}
+	}()
+	waitFor(t, "follower to join the flight", func() bool {
+		return cacheCoalesced.Value() > coalescedBefore
+	})
+
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	close(release)
+
+	out := <-follower
+	if out.err != nil {
+		t.Fatalf("follower err = %v, want nil — leader cancellation poisoned the flight", out.err)
+	}
+	if out.res == nil || out.res.Hash == "" {
+		t.Fatalf("follower got %+v, want a real evaluated Result", out.res)
+	}
+	if got := evaluations.Value() - evalsBefore; got != 1 {
+		t.Errorf("evaluations = %d, want 1 (follower must reuse the flight)", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (completed flight should be cached)", c.Len())
+	}
+}
+
+// TestCacheAbandonedFlightCanceled pins the other half of the flight
+// lifecycle: when every waiter hangs up, the evaluation's context is
+// canceled so the work actually stops, the cancellation is counted,
+// and the hash is immediately free for a fresh evaluation.
+func TestCacheAbandonedFlightCanceled(t *testing.T) {
+	eng := newEngine(t, 0)
+	c := NewCache(eng, 8)
+	sc := Scenario{Preset: "backbone-attack"}
+
+	observed := make(chan error, 1)
+	eng.SetEvalHook(func(ctx context.Context) {
+		<-ctx.Done()
+		observed <- ctx.Err()
+	})
+
+	canceledBefore := evaluationsCanceled.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Eval(ctx, sc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := <-observed; !errors.Is(err, context.Canceled) {
+		t.Fatalf("flight ctx err = %v, want canceled (abandoned work must stop)", err)
+	}
+	waitFor(t, "canceled-evaluations counter", func() bool {
+		return evaluationsCanceled.Value() > canceledBefore
+	})
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0 (canceled evaluation must not be cached)", c.Len())
+	}
+
+	eng.SetEvalHook(nil)
+	if _, err := c.Eval(context.Background(), sc); err != nil {
+		t.Fatalf("fresh evaluation after abandonment failed: %v", err)
+	}
+}
+
+// TestCachePanicPropagatesToWaiter: the evaluation runs on a flight
+// goroutine, so a panic there must be re-raised in the waiter's
+// goroutine (where HTTP panic containment can see it) and must not
+// wedge the hash.
+func TestCachePanicPropagatesToWaiter(t *testing.T) {
+	eng := newEngine(t, 0)
+	c := NewCache(eng, 8)
+	sc := Scenario{Preset: "backbone-attack"}
+	eng.SetEvalHook(func(context.Context) { panic("boom") })
+
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("recover = %v, want boom", r)
+			}
+		}()
+		_, _ = c.Eval(context.Background(), sc)
+		t.Error("Eval returned instead of panicking")
+	}()
+
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0 (panicked evaluation must not be cached)", c.Len())
+	}
+	eng.SetEvalHook(nil)
+	if _, err := c.Eval(context.Background(), sc); err != nil {
+		t.Fatalf("cache unusable after a panicked flight: %v", err)
 	}
 }
 

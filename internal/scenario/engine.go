@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,6 +24,9 @@ import (
 
 var evaluations = obs.GetCounter("scenario_evaluations_total",
 	"Scenario evaluations actually executed (cache hits and singleflight followers excluded).")
+
+var evaluationsCanceled = obs.GetCounter("scenario_evaluations_canceled_total",
+	"Scenario evaluations aborted by context cancellation or deadline before completing.")
 
 // Options fixes the baseline knobs scenario evaluation inherits from
 // the study.
@@ -70,6 +74,29 @@ type Engine struct {
 
 	trafMu   sync.Mutex
 	trafBase map[int]TrafficSummary // by Probes
+
+	hookMu   sync.Mutex
+	evalHook func(ctx context.Context)
+}
+
+// SetEvalHook installs fn to run at the start of every evaluation
+// (after the executed-evaluations counter increments), with the
+// evaluation's context. It exists for fault-injection tests — blocking
+// an evaluation, observing its cancellation, or panicking mid-stage —
+// and must not be used to mutate engine state. nil removes the hook.
+func (e *Engine) SetEvalHook(fn func(ctx context.Context)) {
+	e.hookMu.Lock()
+	e.evalHook = fn
+	e.hookMu.Unlock()
+}
+
+func (e *Engine) runEvalHook(ctx context.Context) {
+	e.hookMu.Lock()
+	fn := e.evalHook
+	e.hookMu.Unlock()
+	if fn != nil {
+		fn(ctx)
+	}
 }
 
 // baseline is everything Evaluate diffs against, computed once.
@@ -119,51 +146,62 @@ func (e *Engine) baseline() *baseline {
 }
 
 // baselineLatency memoizes the baseline latency summary per pair cap.
-func (e *Engine) baselineLatency(maxPairs int) mitigate.LatencySummary {
+// A canceled computation is not cached; the next caller recomputes.
+func (e *Engine) baselineLatency(ctx context.Context, maxPairs int) (mitigate.LatencySummary, error) {
 	e.latMu.Lock()
 	if s, ok := e.latBase[maxPairs]; ok {
 		e.latMu.Unlock()
-		return s
+		return s, nil
 	}
 	e.latMu.Unlock()
-	s := mitigate.Summarize(mitigate.LatencyStudy(e.res.Map, e.res.Atlas, mitigate.LatencyOptions{
+	study, err := mitigate.LatencyStudyCtx(ctx, e.res.Map, e.res.Atlas, mitigate.LatencyOptions{
 		MaxPairs: maxPairs,
 		Workers:  e.opts.Workers,
-	}))
+	})
+	if err != nil {
+		return mitigate.LatencySummary{}, err
+	}
+	s := mitigate.Summarize(study)
 	e.latMu.Lock()
 	e.latBase[maxPairs] = s
 	e.latMu.Unlock()
-	return s
+	return s, nil
 }
 
 // baselineTraffic memoizes the baseline traffic overlay per campaign
-// size.
-func (e *Engine) baselineTraffic(ctx context.Context, probes int) TrafficSummary {
+// size. A canceled campaign is not cached; the next caller recomputes.
+func (e *Engine) baselineTraffic(ctx context.Context, probes int) (TrafficSummary, error) {
 	e.trafMu.Lock()
 	if s, ok := e.trafBase[probes]; ok {
 		e.trafMu.Unlock()
-		return s
+		return s, nil
 	}
 	e.trafMu.Unlock()
-	s := e.trafficOn(ctx, e.res, probes)
+	s, err := e.trafficOn(ctx, e.res, probes)
+	if err != nil {
+		return TrafficSummary{}, err
+	}
 	e.trafMu.Lock()
 	e.trafBase[probes] = s
 	e.trafMu.Unlock()
-	return s
+	return s, nil
 }
 
-func (e *Engine) trafficOn(ctx context.Context, res *mapbuilder.Result, probes int) TrafficSummary {
-	camp := traceroute.RunCtx(ctx, res, traceroute.Options{
+func (e *Engine) trafficOn(ctx context.Context, res *mapbuilder.Result, probes int) (TrafficSummary, error) {
+	camp, err := traceroute.RunCtx(ctx, res, traceroute.Options{
 		N:       probes,
 		Seed:    e.opts.Seed + 2,
 		Workers: e.opts.Workers,
 	})
+	if err != nil {
+		return TrafficSummary{}, err
+	}
 	pub, over := camp.SharingWithTraffic()
 	return TrafficSummary{
 		Conduits:      len(pub),
 		MeanPublished: mean(pub),
 		MeanOverlaid:  mean(over),
-	}
+	}, nil
 }
 
 func mean(xs []int) float64 {
@@ -291,14 +329,35 @@ func (r *Result) MeanDisconnectionAfter() float64 {
 // Evaluate resolves, canonicalizes, and evaluates the scenario. It is
 // deterministic: equal scenarios produce equal Results, bit for bit,
 // at any Workers setting.
-func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (*Result, error) {
-	sc, err := Resolve(sc)
+//
+// Cancellation is cooperative: ctx is checked between stages and, via
+// the ctx-aware par pool, at every chunk grant inside the heavy scans.
+// A canceled evaluation returns ctx.Err() (and counts toward
+// scenario_evaluations_canceled_total); it never returns a partial
+// Result, so determinism of completed evaluations is unaffected.
+func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err error) {
+	sc, err = Resolve(sc)
 	if err != nil {
 		return nil, err
 	}
 	evaluations.Inc()
+	defer func() {
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			evaluationsCanceled.Inc()
+		}
+	}()
 	ctx, sp := obs.Trace(ctx, "scenario.evaluate")
 	defer sp.End()
+	e.runEvalHook(ctx)
+
+	// checkpoint guards stage boundaries: the cheap stages below run a
+	// few hundred microseconds each, so between-stage checks plus the
+	// in-scan chunk-grant checks bound cancellation latency without a
+	// determinism cost.
+	checkpoint := func() error { return ctx.Err() }
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
 
 	m := e.res.Map
 	base := e.baseline()
@@ -343,6 +402,10 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (*Result, error) {
 		res.ConduitsAdded++
 	}
 
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
 	// pm: the fully perturbed map — cuts go dark on top of pmPlus.
 	pm := pmPlus.Clone()
 	for _, cid := range cuts {
@@ -380,6 +443,10 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (*Result, error) {
 		})
 	}
 
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
 	// Per-ISP disconnection: pmPlus keeps full footprints, the cut set
 	// is excluded by weight inside CutImpact.
 	impacts := resilience.CutImpact(pmPlus, mx2, cuts)
@@ -403,32 +470,53 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (*Result, error) {
 	}
 
 	if sc.IncludeLatency {
+		if err := checkpoint(); err != nil {
+			return nil, err
+		}
 		maxPairs := e.opts.LatencyMaxPairs
 		if sc.Overrides.LatencyMaxPairs > 0 {
 			maxPairs = sc.Overrides.LatencyMaxPairs
 		}
-		afterSum := mitigate.Summarize(mitigate.LatencyStudy(pm, e.res.Atlas, mitigate.LatencyOptions{
+		afterStudy, err := mitigate.LatencyStudyCtx(ctx, pm, e.res.Atlas, mitigate.LatencyOptions{
 			MaxPairs: maxPairs,
 			Workers:  e.opts.Workers,
-		}))
+		})
+		if err != nil {
+			return nil, err
+		}
+		before, err := e.baselineLatency(ctx, maxPairs)
+		if err != nil {
+			return nil, err
+		}
 		res.Latency = &LatencyDelta{
 			MaxPairs: maxPairs,
-			Before:   e.baselineLatency(maxPairs),
-			After:    afterSum,
+			Before:   before,
+			After:    mitigate.Summarize(afterStudy),
 		}
 	}
 
 	if sc.IncludeTraffic {
+		if err := checkpoint(); err != nil {
+			return nil, err
+		}
 		probes := e.opts.Probes
 		if sc.Overrides.Probes > 0 {
 			probes = sc.Overrides.Probes
 		}
 		res2 := *e.res
 		res2.Map = pm
+		before, err := e.baselineTraffic(ctx, probes)
+		if err != nil {
+			return nil, err
+		}
+		after, err := e.trafficOn(ctx, &res2, probes)
+		if err != nil {
+			return nil, err
+		}
 		res.Traffic = &TrafficDelta{
 			Probes: probes,
-			Before: e.baselineTraffic(ctx, probes),
-			After:  e.trafficOn(ctx, &res2, probes),
+			Before: before,
+			After:  after,
 		}
 	}
 

@@ -23,6 +23,10 @@ type Outcome struct {
 // Sweep evaluates every scenario against the engine, fanning out over
 // up to workers goroutines (<= 0 means all CPUs). Outcomes are in
 // input order; a failed scenario fails its slot, not the sweep.
+//
+// Canceling ctx stops the sweep at the next chunk grant; slots whose
+// evaluation never ran (or was itself canceled mid-flight) report
+// ctx.Err() in Outcome.Err, so the slice length always matches scs.
 func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outcome {
 	_, sp := obs.Trace(ctx, "scenario.sweep")
 	sp.SetWorkers(par.Workers(workers))
@@ -31,11 +35,19 @@ func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outc
 	// The baseline is shared state guarded by sync.Once; forcing it
 	// here keeps each parallel evaluation read-only.
 	eng.baseline()
-	return par.Map(len(scs), workers, func(i int) Outcome {
+	out, err := par.MapCtx(ctx, len(scs), workers, func(i int) Outcome {
 		res, err := eng.Evaluate(ctx, scs[i])
 		if err != nil {
 			return Outcome{Err: err.Error()}
 		}
 		return Outcome{Result: res}
 	})
+	if err != nil {
+		for i := range out {
+			if out[i].Result == nil && out[i].Err == "" {
+				out[i] = Outcome{Err: err.Error()}
+			}
+		}
+	}
+	return out
 }

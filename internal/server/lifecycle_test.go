@@ -1,0 +1,241 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"intertubes/internal/obs"
+)
+
+// lifecycle_test.go is the fault-injection harness for the request
+// lifecycle: client hang-ups mid-evaluation, a flood of distinct
+// scenario hashes against a small admission limiter, a panicking
+// evaluation stage, and an oversized spec. Faults are injected
+// deterministically through Engine.SetEvalHook — never with sleeps
+// standing in for synchronization.
+
+func canceledCounter() int64 {
+	return obs.GetCounter("scenario_evaluations_canceled_total",
+		"Scenario evaluations aborted by context cancellation or deadline before completing.").Value()
+}
+
+func shedCounter() int64 { return scenarioShed.Value() }
+
+// TestScenarioClientCancelMidEvaluation: a client that hangs up
+// mid-evaluation must actually stop the work (observed via the
+// evaluation context's cancellation) and increment the canceled
+// counter — and the hash must be immediately evaluable again.
+func TestScenarioClientCancelMidEvaluation(t *testing.T) {
+	eng := study(t).Scenarios().Engine()
+	started := make(chan struct{})
+	stopped := make(chan struct{})
+	eng.SetEvalHook(func(ctx context.Context) {
+		close(started)
+		<-ctx.Done()
+		close(stopped)
+	})
+
+	canceledBefore := canceledCounter()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv(t).URL+"/api/scenario", strings.NewReader(`{"cutConduits": [200]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+
+	<-started // evaluation is definitely in flight
+	cancel()  // client hangs up
+
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("evaluation context was never canceled: abandoned work kept running")
+	}
+	waitFor(t, "canceled counter", func() bool {
+		return canceledCounter() > canceledBefore
+	})
+
+	// The hash must not be wedged: the same scenario evaluates fresh.
+	eng.SetEvalHook(nil)
+	resp, body := post(t, "/api/scenario", `{"cutConduits": [200]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("re-POST after cancel: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// waitFor polls cond until it holds or a deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestScenarioFloodSheds floods a small-limit server with distinct
+// scenario hashes while evaluations are pinned in flight: the overflow
+// must shed with 429 + Retry-After, the shed counter must move, and
+// baseline GET routes must keep answering throughout.
+func TestScenarioFloodSheds(t *testing.T) {
+	eng := study(t).Scenarios().Engine()
+	release := make(chan struct{})
+	eng.SetEvalHook(func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	})
+	defer eng.SetEvalHook(nil)
+
+	small := httptest.NewServer(NewWithConfig(study(t), discardLogger(), Config{
+		ScenarioInFlight: 1,
+		ScenarioQueue:    1,
+		RetryAfter:       7,
+	}))
+	defer small.Close()
+
+	const flood = 8
+	shedBefore := shedCounter()
+	codes := make(chan *http.Response, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct hashes: coalescing cannot absorb the flood.
+			resp, err := http.Post(small.URL+"/api/scenario", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"cutConduits": [%d]}`, 70+i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp
+		}(i)
+	}
+
+	// Sheds happen as soon as slot+queue are full; wait for them, then
+	// check baseline routes answer while scenario capacity is pinned.
+	waitFor(t, "flood to shed", func() bool {
+		return shedCounter()-shedBefore >= flood-2
+	})
+	health, err := http.Get(small.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != 200 {
+		t.Errorf("/healthz = %d during flood, want 200", health.StatusCode)
+	}
+	metrics, err := http.Get(small.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics.Body.Close()
+	if metrics.StatusCode != 200 {
+		t.Errorf("/metrics = %d during flood, want 200", metrics.StatusCode)
+	}
+
+	close(release)
+	wg.Wait()
+	close(codes)
+
+	var ok200, shed429 int
+	for resp := range codes {
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed429++
+			if ra := resp.Header.Get("Retry-After"); ra != "7" {
+				t.Errorf("Retry-After = %q, want \"7\"", ra)
+			}
+		default:
+			t.Errorf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	// 1 in-flight + 1 queued admitted; the other 6 shed.
+	if ok200 != 2 || shed429 != flood-2 {
+		t.Errorf("ok=%d shed=%d, want 2 and %d", ok200, shed429, flood-2)
+	}
+	if got := shedCounter() - shedBefore; got != int64(flood-2) {
+		t.Errorf("scenario_requests_shed_total moved by %d, want %d", got, flood-2)
+	}
+	if depth := scenarioQueueDepth.Value(); depth != 0 {
+		t.Errorf("scenario_queue_depth = %v after flood, want 0", depth)
+	}
+}
+
+// TestScenarioPanicContained: a panicking evaluation stage must become
+// a 500 with the panic counter bumped — and the server must keep
+// serving afterwards, including the same scenario.
+func TestScenarioPanicContained(t *testing.T) {
+	eng := study(t).Scenarios().Engine()
+	eng.SetEvalHook(func(context.Context) { panic("injected stage failure") })
+
+	panicsBefore := httpPanics.Value()
+	resp, body := post(t, "/api/scenario", `{"cutConduits": [210]}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500 (%s)", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("error")) {
+		t.Errorf("500 body = %s, want JSON error", body)
+	}
+	if got := httpPanics.Value(); got != panicsBefore+1 {
+		t.Errorf("http_panics_total = %d, want %d", got, panicsBefore+1)
+	}
+
+	// The server survives: baseline route and the same scenario both
+	// work once the fault is removed.
+	eng.SetEvalHook(nil)
+	if resp, _ := get(t, "/healthz"); resp.StatusCode != 200 {
+		t.Errorf("/healthz after panic = %d", resp.StatusCode)
+	}
+	if resp, body := post(t, "/api/scenario", `{"cutConduits": [210]}`); resp.StatusCode != 200 {
+		t.Errorf("re-POST after panic: %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestScenarioBodyTooLarge: a spec over the 1 MiB bound is rejected
+// with 413, not decoded-as-garbage 400 or an unbounded read.
+func TestScenarioBodyTooLarge(t *testing.T) {
+	big := `{"name": "` + strings.Repeat("x", maxScenarioBody+1024) + `"}`
+	resp, body := post(t, "/api/scenario", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (%.80s)", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("error")) {
+		t.Errorf("413 body = %s, want JSON error", body)
+	}
+	// A maximal-but-legal spec still parses.
+	pad := strings.Repeat("x", 1024)
+	resp, _ = post(t, "/api/scenario", `{"name": "`+pad+`", "cutConduits": [211]}`)
+	if resp.StatusCode != 200 {
+		t.Errorf("legal-size spec status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// middleware.go is the request-lifecycle hardening around the route
+// handlers: admission control for the expensive scenario routes and
+// panic containment for everything.
+//
+// The scenario limiter is two bounded pools. A request first tries to
+// take an in-flight slot; if none is free it stands in a bounded wait
+// queue until a slot frees or its client gives up; if the queue is
+// full too, the request is shed immediately with 429 and Retry-After.
+// Baseline GET routes are never limited — a scenario flood cannot
+// starve /healthz or /metrics.
+
+// errShed marks an admission rejection (queue full), as opposed to the
+// client abandoning the wait.
+var errShed = errors.New("server: scenario capacity exhausted")
+
+// Config tunes the request-lifecycle middleware. The zero value means
+// defaults.
+type Config struct {
+	// ScenarioInFlight bounds concurrently executing scenario
+	// evaluations admitted by this server (default
+	// DefaultScenarioInFlight). Coalesced identical queries each hold a
+	// slot — the bound is on admitted requests, not distinct hashes.
+	ScenarioInFlight int
+	// ScenarioQueue bounds how many additional scenario requests may
+	// wait for an in-flight slot before new arrivals are shed with 429
+	// (default DefaultScenarioQueue).
+	ScenarioQueue int
+	// RetryAfter is the Retry-After value, in seconds, stamped on shed
+	// responses (default 1).
+	RetryAfter int
+}
+
+// Default admission bounds: generous enough that an interactive
+// dashboard never notices, small enough that a flood of distinct
+// scenario hashes cannot pile up unbounded evaluations.
+const (
+	DefaultScenarioInFlight = 8
+	DefaultScenarioQueue    = 16
+)
+
+func (c Config) withDefaults() Config {
+	if c.ScenarioInFlight <= 0 {
+		c.ScenarioInFlight = DefaultScenarioInFlight
+	}
+	if c.ScenarioQueue < 0 {
+		c.ScenarioQueue = 0
+	} else if c.ScenarioQueue == 0 {
+		c.ScenarioQueue = DefaultScenarioQueue
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// limiter is a two-stage admission gate: a slot pool for in-flight
+// work and a bounded stand-by queue. Both are plain buffered channels,
+// so acquisition order under contention is the runtime's — admission
+// never affects evaluation results, only whether a request runs.
+type limiter struct {
+	slots      chan struct{}
+	queue      chan struct{}
+	retryAfter string
+}
+
+func newLimiter(inFlight, queue, retryAfter int) *limiter {
+	return &limiter{
+		slots:      make(chan struct{}, inFlight),
+		queue:      make(chan struct{}, queue),
+		retryAfter: strconv.Itoa(retryAfter),
+	}
+}
+
+// acquire admits the request (nil), sheds it (errShed), or reports the
+// client gone while queued (the context error).
+func (l *limiter) acquire(r *http.Request) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		scenarioShed.Inc()
+		return errShed
+	}
+	scenarioQueueDepth.Inc()
+	defer func() {
+		scenarioQueueDepth.Dec()
+		<-l.queue
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// limited wraps a scenario handler in the admission gate.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch err := s.scenarioLimiter.acquire(r); {
+		case err == nil:
+			defer s.scenarioLimiter.release()
+			h(w, r)
+		case errors.Is(err, errShed):
+			w.Header().Set("Retry-After", s.scenarioLimiter.retryAfter)
+			s.writeError(w, http.StatusTooManyRequests,
+				"scenario capacity exhausted; retry shortly")
+		default:
+			// Client hung up while queued; the status is moot but keep
+			// the accounting honest.
+			s.writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+		}
+	}
+}
+
+// serveContained runs the mux with panic containment: a panicking
+// handler yields a 500 (when the header is still writable), a counted
+// metric, and an error log — and the server keeps serving.
+// http.ErrAbortHandler is re-raised; it is net/http's sanctioned way
+// to abort a response and must keep its meaning.
+func (s *Server) serveContained(rec *statusRecorder, r *http.Request) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if v == http.ErrAbortHandler {
+			panic(v)
+		}
+		httpPanics.Inc()
+		s.log.Error("handler panicked",
+			"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(v))
+		if !rec.wroteHeader {
+			s.writeError(rec, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	s.mux.ServeHTTP(rec, r)
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 
 	"intertubes/internal/scenario"
@@ -22,10 +21,14 @@ const maxScenarioBody = 1 << 20
 
 // decodeScenario parses the request body into a Scenario, rejecting
 // unknown fields so typos fail loudly instead of evaluating the
-// baseline.
-func decodeScenario(r *http.Request) (scenario.Scenario, error) {
+// baseline. The body is bounded through http.MaxBytesReader — unlike
+// a bare LimitReader, an over-limit spec is a distinguishable
+// *http.MaxBytesError (mapped to 413 by decodeError) rather than a
+// silent truncation that decodes as garbage, and the server stops
+// reading instead of draining an unbounded upload.
+func decodeScenario(w http.ResponseWriter, r *http.Request) (scenario.Scenario, error) {
 	var sc scenario.Scenario
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxScenarioBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sc); err != nil {
 		return sc, fmt.Errorf("invalid scenario spec: %w", err)
@@ -33,11 +36,23 @@ func decodeScenario(r *http.Request) (scenario.Scenario, error) {
 	return sc, nil
 }
 
+// decodeError maps a decode failure to its status: an oversized body
+// is 413, anything else a plain 400.
+func (s *Server) decodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("scenario spec exceeds %d bytes", maxScenarioBody))
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, err.Error())
+}
+
 // handleScenario evaluates a posted scenario and serves the Result.
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
-	sc, err := decodeScenario(r)
+	sc, err := decodeScenario(w, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.decodeError(w, err)
 		return
 	}
 	res, err := s.study.Scenarios().Eval(r.Context(), sc)
@@ -51,9 +66,9 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 // handleScenarioReport is the rendered-text variant of POST
 // /api/scenario.
 func (s *Server) handleScenarioReport(w http.ResponseWriter, r *http.Request) {
-	sc, err := decodeScenario(r)
+	sc, err := decodeScenario(w, r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.decodeError(w, err)
 		return
 	}
 	res, err := s.study.Scenarios().Eval(r.Context(), sc)

@@ -22,6 +22,12 @@
 //	GET /api/resilience             partition costs + conduit criticality
 //	POST /api/scenario              evaluate a what-if scenario (JSON deltas)
 //	POST /api/scenario/report       same, rendered as text
+//
+// The scenario POSTs are admission-limited (bounded in-flight slots
+// plus a small wait queue); overflow is shed with 429 and Retry-After.
+// Specs over 1 MiB are rejected with 413. Every handler runs under
+// panic containment: a panic yields a 500 and a counted metric, never
+// a crashed server.
 //	GET /api/scenarios              scenario presets + cached results
 //	GET /geojson/{layer}            fibermap | roads | rails | pipelines | annotated
 //
@@ -57,6 +63,12 @@ var (
 		"Response writes that failed, by cause.", obs.L("kind", "server"))
 	dupWriteHeaders = obs.GetCounter("http_write_header_duplicates_total",
 		"WriteHeader calls after the header was already written.")
+	httpPanics = obs.GetCounter("http_panics_total",
+		"Handler panics contained by the recovery middleware.")
+	scenarioShed = obs.GetCounter("scenario_requests_shed_total",
+		"Scenario requests rejected with 429 because in-flight and queue capacity were exhausted.")
+	scenarioQueueDepth = obs.GetGauge("scenario_queue_depth",
+		"Scenario requests currently waiting for an in-flight slot.")
 )
 
 // routeMetrics is the pre-resolved instrument set for one route
@@ -102,26 +114,34 @@ func (rm *routeMetrics) observe(code int, bytes int64, d time.Duration) {
 // Server serves a Study. It is safe for concurrent use: the study is
 // fully materialized at construction and never mutated afterwards.
 type Server struct {
-	study     *intertubes.Study
-	mux       *http.ServeMux
-	log       *slog.Logger
-	routes    map[string]*routeMetrics
-	unmatched *routeMetrics
+	study           *intertubes.Study
+	mux             *http.ServeMux
+	log             *slog.Logger
+	routes          map[string]*routeMetrics
+	unmatched       *routeMetrics
+	scenarioLimiter *limiter
 }
 
-// New builds a Server, eagerly materializing every lazy analysis the
-// endpoints need so request latency is flat. A nil logger falls back
-// to the shared obs handler.
+// New builds a Server with default middleware Config, eagerly
+// materializing every lazy analysis the endpoints need so request
+// latency is flat. A nil logger falls back to the shared obs handler.
 func New(study *intertubes.Study, logger *slog.Logger) *Server {
+	return NewWithConfig(study, logger, Config{})
+}
+
+// NewWithConfig is New with explicit request-lifecycle tuning.
+func NewWithConfig(study *intertubes.Study, logger *slog.Logger, cfg Config) *Server {
 	if logger == nil {
 		logger = obs.Logger("server")
 	}
+	cfg = cfg.withDefaults()
 	s := &Server{
-		study:     study,
-		mux:       http.NewServeMux(),
-		log:       logger,
-		routes:    make(map[string]*routeMetrics),
-		unmatched: newRouteMetrics("unmatched"),
+		study:           study,
+		mux:             http.NewServeMux(),
+		log:             logger,
+		routes:          make(map[string]*routeMetrics),
+		unmatched:       newRouteMetrics("unmatched"),
+		scenarioLimiter: newLimiter(cfg.ScenarioInFlight, cfg.ScenarioQueue, cfg.RetryAfter),
 	}
 	// Materialize lazy stages up front.
 	study.Robustness()
@@ -130,12 +150,13 @@ func New(study *intertubes.Study, logger *slog.Logger) *Server {
 }
 
 // ServeHTTP implements http.Handler: every request is wrapped in a
-// statusRecorder, measured into the per-route metrics, and logged
-// through the structured logger.
+// statusRecorder, run under panic containment, measured into the
+// per-route metrics, and logged through the structured logger. A
+// panicking handler still produces a measured, logged 500.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(rec, r)
+	s.serveContained(rec, r)
 	d := time.Since(start)
 	rm := s.routes[rec.route]
 	if rm == nil {
@@ -213,8 +234,8 @@ func (s *Server) registerRoutes() {
 	s.handle("GET /api/figures/{name}", s.handleFigure)
 	s.handle("GET /api/annotated", s.handleAnnotated)
 	s.handle("GET /api/resilience", s.handleResilience)
-	s.handle("POST /api/scenario", s.handleScenario)
-	s.handle("POST /api/scenario/report", s.handleScenarioReport)
+	s.handle("POST /api/scenario", s.limited(s.handleScenario))
+	s.handle("POST /api/scenario/report", s.limited(s.handleScenarioReport))
 	s.handle("GET /api/scenarios", s.handleScenarios)
 	s.handle("GET /geojson/{layer}", s.handleGeoJSON)
 }

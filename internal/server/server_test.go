@@ -13,21 +13,41 @@ import (
 	"intertubes"
 )
 
-var testSrv *httptest.Server
+var (
+	testSrv   *httptest.Server
+	testStudy *intertubes.Study
+)
 
 func discardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
-func srv(t *testing.T) *httptest.Server {
+// study returns the shared small-options study backing the test
+// servers (built once; the map build dominates test wall time).
+func study(t *testing.T) *intertubes.Study {
 	t.Helper()
-	if testSrv == nil {
-		study := intertubes.NewStudy(intertubes.Options{
+	if testStudy == nil {
+		testStudy = intertubes.NewStudy(intertubes.Options{
 			Probes:          10000,
 			LatencyMaxPairs: 300,
 			AddConduits:     2,
 		})
-		testSrv = httptest.NewServer(New(study, discardLogger()))
+	}
+	return testStudy
+}
+
+func srv(t *testing.T) *httptest.Server {
+	t.Helper()
+	if testSrv == nil {
+		// Admission limits far above anything the concurrency tests
+		// throw at the shared server: those tests pin evaluation and
+		// coalescing counts and must never be shed. The shedding path
+		// is exercised against dedicated small-limit servers in
+		// lifecycle_test.go.
+		testSrv = httptest.NewServer(NewWithConfig(study(t), discardLogger(), Config{
+			ScenarioInFlight: 64,
+			ScenarioQueue:    64,
+		}))
 	}
 	return testSrv
 }

@@ -62,14 +62,18 @@ type segAttr struct {
 // Run synthesizes a campaign over the built map and overlays it onto
 // the published conduits.
 func Run(res *mapbuilder.Result, opts Options) *Campaign {
-	return RunCtx(context.Background(), res, opts)
+	c, _ := RunCtx(context.Background(), res, opts) // background ctx: cannot fail
+	return c
 }
 
-// RunCtx is Run with a caller context, used only to parent the
-// campaign's stage spans (there is no cancellation); the three phases
-// record obs spans so a build report attributes campaign time to
-// decisions, routing/synthesis, and the ordered reduce.
-func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) *Campaign {
+// RunCtx is Run with a caller context that both parents the campaign's
+// stage spans and carries real cancellation: the phase-1 decision loop
+// and every phase-2 window check ctx at chunk-grant boundaries, so a
+// canceled campaign stops synthesizing within one window and returns
+// (nil, ctx.Err()). A campaign that completes is bit-identical to the
+// serial order at any worker count — cancellation can only abort a
+// run, never reorder it.
+func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) (*Campaign, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	a := res.Atlas
@@ -185,6 +189,12 @@ func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) *Campaign
 	_, decideSpan := obs.Trace(ctx, "traceroute.decide")
 	specs := make([]probeSpec, opts.N)
 	for i := range specs {
+		// The decision loop is serial (one shared campaign stream), so
+		// it polls ctx itself on the same grid the pool uses.
+		if i%par.ChunkSize == 0 && ctx.Err() != nil {
+			decideSpan.End()
+			return nil, ctx.Err()
+		}
 		sp := &specs[i]
 		sp.src = grav.draw(rng)
 		sp.dst = grav.draw(rng)
@@ -276,9 +286,12 @@ func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) *Campaign
 		}
 		_, synthSpan := obs.Trace(ctx, "traceroute.synthesize")
 		synthSpan.SetWorkers(par.Workers(opts.Workers))
-		outs := par.MapSeededRange(lo, hi, opts.Workers, synthSeed, probe)
+		outs, err := par.MapSeededRangeCtx(ctx, lo, hi, opts.Workers, synthSeed, probe)
 		synthSpan.SetItems(int64(hi - lo))
 		synthSpan.End()
+		if err != nil {
+			return nil, err
+		}
 		_, reduceSpan := obs.Trace(ctx, "traceroute.reduce")
 		kept := int64(0)
 		for _, o := range outs {
@@ -295,7 +308,7 @@ func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) *Campaign
 		reduceSpan.SetItems(kept)
 		reduceSpan.End()
 	}
-	return c
+	return c, nil
 }
 
 // choosePeerHub returns the atlas city where the two providers hand

@@ -152,11 +152,11 @@ func (s *Study) Campaign() *traceroute.Campaign {
 	if s.camp == nil {
 		ctx, sp := obs.Trace(context.Background(), "study.campaign")
 		sp.SetWorkers(par.Workers(s.opts.Workers))
-		s.camp = traceroute.RunCtx(ctx, s.res, traceroute.Options{
+		s.camp, _ = traceroute.RunCtx(ctx, s.res, traceroute.Options{
 			N:       s.opts.Probes,
 			Seed:    s.opts.Seed + 2,
 			Workers: s.opts.Workers,
-		})
+		}) // background-derived ctx: cannot fail
 		sp.SetItems(int64(s.camp.Total))
 		sp.End()
 	}

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# fuzz.sh — fuzz-smoke: run every native Go fuzz target for a short,
+# bounded burst. This is not a soak; it exists so a corpus-breaking
+# regression (a parser that started crashing on garbage) fails CI
+# within seconds instead of waiting for a dedicated fuzzing run.
+#
+#   FUZZTIME=10s sh scripts/fuzz.sh    # per-target budget (default 10s)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+# Enumerate packages that declare fuzz targets, then run each target
+# individually: `go test -fuzz` accepts only one target per invocation.
+for pkg in $(go list ./...); do
+	targets=$(go test -list '^Fuzz' "$pkg" 2>/dev/null | grep '^Fuzz' || true)
+	[ -z "$targets" ] && continue
+	for target in $targets; do
+		echo "==> fuzz $pkg $target ($FUZZTIME)"
+		go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
+	done
+done
+
+echo "fuzz: all targets survived their smoke burst"

@@ -17,4 +17,12 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Fuzz smoke is part of the gate unless explicitly skipped
+# (SKIP_FUZZ=1 sh scripts/verify.sh) — e.g. on machines where the
+# fuzzing engine's per-target startup dominates.
+if [ "${SKIP_FUZZ:-0}" != "1" ]; then
+	echo "==> fuzz smoke"
+	sh scripts/fuzz.sh
+fi
+
 echo "verify: all checks passed"
