@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify fuzz bench clean
+.PHONY: build test race vet verify fuzz bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -27,5 +27,12 @@ fuzz:
 bench:
 	sh scripts/bench.sh
 
+# bench-smoke runs the graph-kernel micro-benchmarks for one iteration
+# each — a fast CI check that the benchmarks themselves still build and
+# run (it does not overwrite BENCH_obs.json).
+bench-smoke:
+	BENCH='DijkstraSweep|KShortestPaths$$|EdgeBetweenness' BENCHTIME=1x OUT=BENCH_smoke.json sh scripts/bench.sh
+	rm -f BENCH_smoke.json
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_smoke.json

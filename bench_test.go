@@ -18,6 +18,7 @@ import (
 
 	"intertubes"
 	"intertubes/internal/geo"
+	"intertubes/internal/graph"
 	"intertubes/internal/mapbuilder"
 	"intertubes/internal/mitigate"
 	"intertubes/internal/records"
@@ -280,6 +281,68 @@ func BenchmarkRecordsInference(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(found)/float64(len(refs)), "tenants-per-conduit")
+}
+
+// ---- Graph kernel micro-benchmarks. ----
+//
+// The §5 analyses are dominated by shortest-path queries, so the
+// kernel's steady-state cost is tracked directly: each benchmark
+// reuses one workspace across iterations, exactly as the sweeps do
+// (see DESIGN.md "Graph kernel memory layout"). Run with -benchmem:
+// the allocs/op column is the contract.
+
+// BenchmarkDijkstraSweep measures single-source distance queries over
+// the built map graph, cycling the source across all vertices.
+func BenchmarkDijkstraSweep(b *testing.B) {
+	sharedStudy()
+	g := benchRes.Map.Graph()
+	wf := benchRes.Map.LitWeight()
+	ws := graph.NewWorkspace()
+	dst := make([]float64, g.NumVertices())
+	dst = g.ShortestDistancesWS(ws, 0, wf, dst) // warm: CSR build + workspace growth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = g.ShortestDistancesWS(ws, i%g.NumVertices(), wf, dst)
+	}
+	b.ReportMetric(float64(g.NumVertices()), "vertices")
+}
+
+// BenchmarkKShortestPaths measures Yen's algorithm (k=4, the latency
+// study's setting) between city pairs cycled across the graph.
+func BenchmarkKShortestPaths(b *testing.B) {
+	sharedStudy()
+	g := benchRes.Map.Graph()
+	wf := benchRes.Map.LitWeight()
+	ws := graph.NewWorkspace()
+	n := g.NumVertices()
+	g.KShortestPathsWS(ws, 0, n/2, 4, wf) // warm: CSR build + workspace growth
+	var paths int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % n
+		dst := (i + n/2) % n
+		if src == dst {
+			dst = (dst + 1) % n
+		}
+		paths += len(g.KShortestPathsWS(ws, src, dst, 4, wf))
+	}
+	b.ReportMetric(float64(paths)/float64(b.N), "paths/op")
+}
+
+// BenchmarkEdgeBetweenness measures the all-sources Brandes pass the
+// resilience analysis runs to pick backhoe targets.
+func BenchmarkEdgeBetweenness(b *testing.B) {
+	sharedStudy()
+	g := benchRes.Map.Graph()
+	wf := benchRes.Map.LitWeight()
+	ws := graph.NewWorkspace()
+	dst := make([]float64, g.NumEdges())
+	dst = g.EdgeBetweennessWS(ws, wf, dst) // warm: CSR build + workspace growth
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = g.EdgeBetweennessWS(ws, wf, dst)
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges")
 }
 
 // ---- Ablations (design choices called out in DESIGN.md). ----

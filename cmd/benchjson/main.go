@@ -73,21 +73,47 @@ func run(args []string, in io.Reader, errOut io.Writer) error {
 // parseStream reads a test2json stream and collects every benchmark
 // result line. Non-JSON lines (plain `go test` output piped in by
 // mistake) are tolerated: they are scanned as bare text.
+//
+// test2json flushes partial lines: a slow benchmark emits its name
+// ("BenchmarkX   \t") as one output event and the stats as a later
+// one. Output is therefore reassembled into whole lines per package
+// before parsing, keyed by package so interleaved `./...` streams
+// cannot corrupt each other.
 func parseStream(in io.Reader) (*Summary, error) {
 	sum := &Summary{Benchmarks: []Result{}}
+	partial := make(map[string]string)
+	emit := func(pkg, line string) {
+		if r, ok := parseBenchLine(pkg, line); ok {
+			sum.Benchmarks = append(sum.Benchmarks, r)
+		}
+	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		var ev event
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			ev = event{Action: "output", Output: line}
+			ev = event{Action: "output", Output: line + "\n"}
 		}
 		if ev.Action != "output" {
 			continue
 		}
-		if r, ok := parseBenchLine(ev.Package, ev.Output); ok {
-			sum.Benchmarks = append(sum.Benchmarks, r)
+		buf := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			emit(ev.Package, buf[:nl])
+			buf = buf[nl+1:]
+		}
+		partial[ev.Package] = buf
+	}
+	// Trailing unterminated output still counts (bare-text input with
+	// no final newline).
+	for pkg, buf := range partial {
+		if buf != "" {
+			emit(pkg, buf)
 		}
 	}
 	return sum, sc.Err()
@@ -98,6 +124,8 @@ func parseStream(in io.Reader) (*Summary, error) {
 //	BenchmarkName-8   120   9876543 ns/op   456 B/op   7 allocs/op
 //
 // returning ok=false for anything else (headers, PASS lines, logs).
+// The trailing -N GOMAXPROCS suffix is stripped from the name so
+// summaries diff cleanly across machines with different core counts.
 func parseBenchLine(pkg, line string) (Result, bool) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -107,7 +135,7 @@ func parseBenchLine(pkg, line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Package: pkg, Name: fields[0], N: n, Metrics: map[string]float64{}}
+	r := Result{Package: pkg, Name: stripCPUSuffix(fields[0]), N: n, Metrics: map[string]float64{}}
 	// Remaining fields come in (value, unit) pairs.
 	rest := fields[2:]
 	if len(rest)%2 != 0 {
@@ -121,4 +149,20 @@ func parseBenchLine(pkg, line string) (Result, bool) {
 		r.Metrics[rest[i+1]] = v
 	}
 	return r, true
+}
+
+// stripCPUSuffix removes the "-8" style GOMAXPROCS suffix go test
+// appends to benchmark names. Only an all-digit run after the final
+// dash is removed, so names like "Benchmark.../workers=2" survive.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
 }

@@ -14,7 +14,7 @@ func TestParseBenchLine(t *testing.T) {
 	if !ok {
 		t.Fatal("line not recognized")
 	}
-	if r.Name != "BenchmarkFigure1_MapConstruction-8" || r.N != 120 {
+	if r.Name != "BenchmarkFigure1_MapConstruction" || r.N != 120 {
 		t.Errorf("parsed = %+v", r)
 	}
 	want := map[string]float64{"ns/op": 9876543, "B/op": 456, "allocs/op": 7}
@@ -40,6 +40,21 @@ func TestParseBenchLineRejects(t *testing.T) {
 	}
 }
 
+func TestStripCPUSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkA-8":                         "BenchmarkA",
+		"BenchmarkA-16":                        "BenchmarkA",
+		"BenchmarkA":                           "BenchmarkA",
+		"BenchmarkWorkersCampaign/workers=2-8": "BenchmarkWorkersCampaign/workers=2",
+		"BenchmarkAblation/buffer-10km":        "BenchmarkAblation/buffer-10km", // non-numeric tail kept
+		"BenchmarkOdd-":                        "BenchmarkOdd-",
+	} {
+		if got := stripCPUSuffix(in); got != want {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestParseStream(t *testing.T) {
 	stream := strings.Join([]string{
 		`{"Action":"start","Package":"intertubes"}`,
@@ -56,11 +71,36 @@ func TestParseStream(t *testing.T) {
 	if len(sum.Benchmarks) != 2 {
 		t.Fatalf("benchmarks = %d", len(sum.Benchmarks))
 	}
-	if sum.Benchmarks[0].Name != "BenchmarkA-4" || sum.Benchmarks[0].Metrics["ns/op"] != 50000 {
+	if sum.Benchmarks[0].Name != "BenchmarkA" || sum.Benchmarks[0].Metrics["ns/op"] != 50000 {
 		t.Errorf("first = %+v", sum.Benchmarks[0])
 	}
 	if sum.Benchmarks[1].Package != "intertubes/internal/par" {
 		t.Errorf("second package = %q", sum.Benchmarks[1].Package)
+	}
+}
+
+// TestParseStreamSplitLines covers test2json's partial-line flushing:
+// a slow benchmark's name and stats arrive as separate output events
+// (no newline between them) and must be reassembled per package.
+func TestParseStreamSplitLines(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"intertubes","Output":"BenchmarkSlow   \t"}`,
+		`{"Action":"output","Package":"intertubes/other","Output":"BenchmarkOther-4 3 7 ns/op\n"}`,
+		`{"Action":"output","Package":"intertubes","Output":"       1\t     28045 ns/op\t   19648 B/op\t      15 allocs/op\n"}`,
+	}, "\n")
+	sum, err := parseStream(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %+v", sum.Benchmarks)
+	}
+	if sum.Benchmarks[0].Name != "BenchmarkOther" {
+		t.Errorf("first = %+v", sum.Benchmarks[0])
+	}
+	slow := sum.Benchmarks[1]
+	if slow.Name != "BenchmarkSlow" || slow.N != 1 || slow.Metrics["allocs/op"] != 15 {
+		t.Errorf("reassembled = %+v", slow)
 	}
 }
 
@@ -79,7 +119,7 @@ func TestRunWritesFile(t *testing.T) {
 	if err := json.Unmarshal(raw, &sum); err != nil {
 		t.Fatalf("output is not JSON: %v", err)
 	}
-	if len(sum.Benchmarks) != 1 || sum.Benchmarks[0].Name != "BenchmarkX-2" {
+	if len(sum.Benchmarks) != 1 || sum.Benchmarks[0].Name != "BenchmarkX" {
 		t.Errorf("summary = %+v", sum)
 	}
 	if !strings.Contains(errBuf.String(), "1 benchmarks") {

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// alloc_test.go is the allocation-regression guard: the whole point of
+// the workspace API is that steady-state distance queries allocate
+// nothing, so a regression here silently re-inflates every §5 sweep.
+// The guards skip under -short (they are perf gates, not correctness)
+// and under the race detector (instrumentation allocates).
+
+// allocFixture builds a mid-sized connected multigraph and warms a
+// workspace against it.
+func allocFixture() (*Graph, *Workspace, WeightFunc) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 400
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(rng.Intn(v), v, float64(1+rng.Intn(9)))
+	}
+	for i := 0; i < 3*n; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(9)))
+	}
+	wf := func(eid int) float64 { return g.Edge(eid).Weight }
+	ws := NewWorkspace()
+	g.ShortestDistancesWS(ws, 0, wf, nil) // warm: CSR build + workspace growth
+	return g, ws, wf
+}
+
+func skipIfAllocsUnmeasurable(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("allocation guard skipped under the race detector")
+	}
+}
+
+func TestShortestDistancesWSZeroAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	g, ws, wf := allocFixture()
+	dst := make([]float64, g.NumVertices())
+	if avg := testing.AllocsPerRun(50, func() {
+		dst = g.ShortestDistancesWS(ws, 7, wf, dst)
+	}); avg != 0 {
+		t.Fatalf("ShortestDistancesWS allocates %.1f per run, want 0", avg)
+	}
+}
+
+func TestShortestDistanceWSZeroAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	g, ws, wf := allocFixture()
+	if avg := testing.AllocsPerRun(50, func() {
+		g.ShortestDistanceWS(ws, 3, g.NumVertices()-1, wf)
+	}); avg != 0 {
+		t.Fatalf("ShortestDistanceWS allocates %.1f per run, want 0", avg)
+	}
+}
+
+func TestMinimaxDistancesWSZeroAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	g, ws, wf := allocFixture()
+	dst := make([]float64, g.NumVertices())
+	if avg := testing.AllocsPerRun(50, func() {
+		dst = g.MinimaxDistancesWS(ws, 5, wf, dst)
+	}); avg != 0 {
+		t.Fatalf("MinimaxDistancesWS allocates %.1f per run, want 0", avg)
+	}
+}
+
+// TestShortestPathWSOnlyPathAllocs pins the documented contract that a
+// path query allocates only the returned Path (nodes + edges slices).
+func TestShortestPathWSOnlyPathAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	g, ws, wf := allocFixture()
+	if avg := testing.AllocsPerRun(50, func() {
+		g.ShortestPathWS(ws, 3, g.NumVertices()-1, wf)
+	}); avg > 2 {
+		t.Fatalf("ShortestPathWS allocates %.1f per run, want <= 2 (the Path slices)", avg)
+	}
+}

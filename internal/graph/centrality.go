@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -16,63 +15,84 @@ import (
 // excluded by wf (+Inf) get zero. Runs Brandes with Dijkstra in
 // O(V * E log V).
 func (g *Graph) EdgeBetweenness(wf WeightFunc) []float64 {
-	n := len(g.adj)
-	score := make([]float64, len(g.edges))
+	ws := getWS()
+	defer putWS(ws)
+	return g.EdgeBetweennessWS(ws, wf, nil)
+}
 
-	// Per-source scratch, reused across sources.
-	dist := make([]float64, n)
-	sigma := make([]float64, n) // number of shortest paths
-	delta := make([]float64, n) // dependency accumulator
-	order := make([]int32, 0, n)
-	// preds[v] lists the half-edges on shortest paths into v.
-	preds := make([][]halfEdge, n)
+// EdgeBetweennessWS is EdgeBetweenness using the caller's workspace,
+// writing scores into dst (resized as needed; nil allocates). The
+// weight table is materialized once for all sources, and the per-
+// source scratch (settle order, path counts, dependency accumulators,
+// predecessor lists) is epoch-stamped workspace state — re-arming it
+// between sources costs O(touched), not O(V).
+func (g *Graph) EdgeBetweennessWS(ws *Workspace, wf WeightFunc, dst []float64) []float64 {
+	n := g.n
+	t := g.topoView()
+	weights := ws.materialize(g, t, wf)
+	if cap(dst) < len(g.edges) {
+		dst = make([]float64, len(g.edges))
+	}
+	dst = dst[:len(g.edges)]
+	for i := range dst {
+		dst[i] = 0
+	}
 
 	for s := 0; s < n; s++ {
-		order = order[:0]
-		for i := 0; i < n; i++ {
-			dist[i] = math.Inf(1)
-			sigma[i] = 0
-			delta[i] = 0
-			preds[i] = preds[i][:0]
-		}
-		dist[s] = 0
-		sigma[s] = 1
-		q := pq{{v: int32(s), dist: 0}}
-		for q.Len() > 0 {
-			it := heap.Pop(&q).(pqItem)
-			v := int(it.v)
-			if it.dist > dist[v] {
+		ws.beginBrandes(n)
+		sv := int32(s)
+		ws.stamp[sv] = ws.epoch
+		ws.dist[sv] = 0
+		ws.sigma[sv] = 1
+		ws.delta[sv] = 0
+		ws.preds[sv] = ws.preds[sv][:0]
+		h := &ws.heap
+		h.push(pqItem{v: sv, dist: 0})
+		for h.len() > 0 {
+			it := h.pop()
+			v := it.v
+			if it.dist > ws.dist[v] {
 				continue
 			}
-			order = append(order, it.v)
-			for _, h := range g.adj[v] {
-				w := g.weightOf(wf, int(h.edge))
+			ws.order = append(ws.order, v)
+			for _, he := range t.half[t.off[v]:t.off[v+1]] {
+				w := weights[he.edge]
 				if math.IsInf(w, 1) {
 					continue
 				}
-				nd := dist[v] + w
+				nd := ws.dist[v] + w
+				to := he.to
+				if ws.stamp[to] != ws.epoch {
+					ws.stamp[to] = ws.epoch
+					ws.dist[to] = nd
+					ws.sigma[to] = ws.sigma[v]
+					ws.delta[to] = 0
+					ws.preds[to] = append(ws.preds[to][:0], halfEdge{to: v, edge: he.edge})
+					h.push(pqItem{v: to, dist: nd})
+					continue
+				}
 				switch {
-				case nd < dist[h.to]-1e-12:
-					dist[h.to] = nd
-					sigma[h.to] = sigma[v]
-					preds[h.to] = append(preds[h.to][:0], halfEdge{to: int32(v), edge: h.edge})
-					heap.Push(&q, pqItem{v: h.to, dist: nd})
-				case math.Abs(nd-dist[h.to]) <= 1e-12:
-					sigma[h.to] += sigma[v]
-					preds[h.to] = append(preds[h.to], halfEdge{to: int32(v), edge: h.edge})
+				case nd < ws.dist[to]-1e-12:
+					ws.dist[to] = nd
+					ws.sigma[to] = ws.sigma[v]
+					ws.preds[to] = append(ws.preds[to][:0], halfEdge{to: v, edge: he.edge})
+					h.push(pqItem{v: to, dist: nd})
+				case math.Abs(nd-ws.dist[to]) <= 1e-12:
+					ws.sigma[to] += ws.sigma[v]
+					ws.preds[to] = append(ws.preds[to], halfEdge{to: v, edge: he.edge})
 				}
 			}
 		}
 		// Accumulate dependencies in reverse settle order.
-		for i := len(order) - 1; i > 0; i-- {
-			w := int(order[i])
-			for _, ph := range preds[w] {
-				v := int(ph.to)
-				c := sigma[v] / sigma[w] * (1 + delta[w])
-				score[ph.edge] += c
-				delta[v] += c
+		for i := len(ws.order) - 1; i > 0; i-- {
+			w := ws.order[i]
+			for _, ph := range ws.preds[w] {
+				v := ph.to
+				c := ws.sigma[v] / ws.sigma[w] * (1 + ws.delta[w])
+				dst[ph.edge] += c
+				ws.delta[v] += c
 			}
 		}
 	}
-	return score
+	return dst
 }

@@ -1,15 +1,19 @@
 // Package graph provides the routing substrate: an undirected
 // multigraph with integer vertices, Dijkstra shortest paths under
 // caller-supplied edge weights, Yen's k-shortest loopless paths, and
-// connectivity utilities. It is deliberately small and allocation-
-// conscious: the mitigation analyses in §5 of the paper run many
-// thousands of shortest-path queries per experiment.
+// connectivity utilities. It is an allocation-aware compute kernel:
+// the mitigation analyses in §5 of the paper run many thousands of
+// shortest-path queries per experiment, so adjacency lives in a
+// compact CSR layout, the priority queue is a typed 4-ary heap, and
+// all per-query scratch state is reusable through Workspace (zero
+// steady-state allocations for distance queries).
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Edge is an undirected edge between vertices U and V with a default
@@ -20,25 +24,42 @@ type Edge struct {
 	Weight float64
 }
 
+// halfEdge is one direction of an edge as seen from a vertex.
 type halfEdge struct {
 	to   int32
 	edge int32
 }
 
+// topology is the immutable compiled form of the graph: a compressed-
+// sparse-row adjacency (half[off[v]:off[v+1]] are v's incident half-
+// edges, in edge-insertion order) plus the default weight table. It is
+// rebuilt lazily after mutations; a built topology is never modified,
+// so concurrent queries may share it freely.
+type topology struct {
+	off        []int32
+	half       []halfEdge
+	defWeights []float64
+}
+
 // Graph is an undirected multigraph. The zero value is an empty graph
-// with no vertices; use New to pre-size.
+// with no vertices; use New to pre-size. Queries compile the edge list
+// into a CSR adjacency on first use; mutations (AddVertex, AddEdge)
+// invalidate it. Concurrent queries are safe; mutating concurrently
+// with queries is not (and never was).
 type Graph struct {
-	adj   [][]halfEdge
-	edges []Edge
+	n      int
+	edges  []Edge
+	topo   atomic.Pointer[topology]
+	topoMu sync.Mutex
 }
 
 // New returns a graph with n vertices (0..n-1) and no edges.
 func New(n int) *Graph {
-	return &Graph{adj: make([][]halfEdge, n)}
+	return &Graph{n: n}
 }
 
 // NumVertices returns the number of vertices.
-func (g *Graph) NumVertices() int { return len(g.adj) }
+func (g *Graph) NumVertices() int { return g.n }
 
 // NumEdges returns the number of edges.
 func (g *Graph) NumEdges() int { return len(g.edges) }
@@ -48,37 +69,93 @@ func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 
 // AddVertex appends a vertex and returns its index.
 func (g *Graph) AddVertex() int {
-	g.adj = append(g.adj, nil)
-	return len(g.adj) - 1
+	g.n++
+	g.topo.Store(nil)
+	return g.n - 1
 }
 
 // AddEdge inserts an undirected edge u-v with the given weight and
 // returns its edge id. It panics if either endpoint is out of range or
 // the weight is negative or NaN.
 func (g *Graph) AddEdge(u, v int, weight float64) int {
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
-		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range [0,%d)", u, v, len(g.adj)))
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: AddEdge(%d,%d) out of range [0,%d)", u, v, g.n))
 	}
 	if weight < 0 || math.IsNaN(weight) {
 		panic(fmt.Sprintf("graph: AddEdge weight %v must be non-negative", weight))
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, Edge{U: u, V: v, Weight: weight})
-	g.adj[u] = append(g.adj[u], halfEdge{to: int32(v), edge: int32(id)})
-	if u != v {
-		g.adj[v] = append(g.adj[v], halfEdge{to: int32(u), edge: int32(id)})
-	}
+	g.topo.Store(nil)
 	return id
+}
+
+// topoView returns the compiled CSR topology, building it if a
+// mutation invalidated the previous one. Safe for concurrent use.
+func (g *Graph) topoView() *topology {
+	if t := g.topo.Load(); t != nil {
+		return t
+	}
+	g.topoMu.Lock()
+	defer g.topoMu.Unlock()
+	if t := g.topo.Load(); t != nil {
+		return t
+	}
+	t := buildTopology(g.n, g.edges)
+	g.topo.Store(t)
+	return t
+}
+
+// buildTopology compiles the edge list with a counting sort. Filling
+// in ascending edge-id order (u's half before v's) reproduces exactly
+// the per-vertex adjacency order the old slice-of-slices layout got
+// from its AddEdge appends — iteration order is part of the kernel's
+// determinism contract.
+func buildTopology(n int, edges []Edge) *topology {
+	off := make([]int32, n+1)
+	for i := range edges {
+		e := &edges[i]
+		off[e.U+1]++
+		if e.U != e.V {
+			off[e.V+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	half := make([]halfEdge, off[n])
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	defW := make([]float64, len(edges))
+	for i := range edges {
+		e := &edges[i]
+		half[cur[e.U]] = halfEdge{to: int32(e.V), edge: int32(i)}
+		cur[e.U]++
+		if e.U != e.V {
+			half[cur[e.V]] = halfEdge{to: int32(e.U), edge: int32(i)}
+			cur[e.V]++
+		}
+		defW[i] = e.Weight
+	}
+	return &topology{off: off, half: half, defWeights: defW}
+}
+
+// neighbors returns v's incident half-edges.
+func (t *topology) neighbors(v int32) []halfEdge {
+	return t.half[t.off[v]:t.off[v+1]]
 }
 
 // Degree returns the number of incident edge endpoints at v
 // (a self-loop counts once).
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	t := g.topoView()
+	return int(t.off[v+1] - t.off[v])
+}
 
 // Neighbors calls fn for every incident edge of v with the neighbor
 // vertex and edge id.
 func (g *Graph) Neighbors(v int, fn func(to, edgeID int)) {
-	for _, h := range g.adj[v] {
+	for _, h := range g.topoView().neighbors(int32(v)) {
 		fn(int(h.to), int(h.edge))
 	}
 }
@@ -107,6 +184,10 @@ func (p Path) Clone() Path {
 // WeightFunc maps an edge id to its traversal cost for one query.
 // Returning +Inf excludes the edge. A nil WeightFunc uses each edge's
 // default weight.
+//
+// The kernel materializes wf into a flat table once per sweep (see
+// Weights), so wf is called exactly once per edge id per query — it
+// must be a pure function of the edge id for the query's duration.
 type WeightFunc func(edgeID int) float64
 
 func (g *Graph) weightOf(wf WeightFunc, id int) float64 {
@@ -116,142 +197,206 @@ func (g *Graph) weightOf(wf WeightFunc, id int) float64 {
 	return wf(id)
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
-type pqItem struct {
-	v    int32
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// Weights materializes wf into dst (resized as needed): dst[e] = wf(e)
+// for every edge id, with nil wf meaning default weights. Hot loops
+// index the table instead of calling a closure per edge relaxation.
+func (g *Graph) Weights(wf WeightFunc, dst []float64) []float64 {
+	ne := len(g.edges)
+	if cap(dst) < ne {
+		dst = make([]float64, ne)
+	}
+	dst = dst[:ne]
+	if wf == nil {
+		copy(dst, g.topoView().defWeights)
+		return dst
+	}
+	for i := range dst {
+		dst[i] = wf(i)
+	}
+	return dst
 }
 
 // ShortestPath returns the minimum-weight path from src to dst under
 // wf, or ok=false if dst is unreachable.
 func (g *Graph) ShortestPath(src, dst int, wf WeightFunc) (Path, bool) {
-	if src < 0 || src >= len(g.adj) || dst < 0 || dst >= len(g.adj) {
+	ws := getWS()
+	defer putWS(ws)
+	return g.ShortestPathWS(ws, src, dst, wf)
+}
+
+// ShortestPathWS is ShortestPath using the caller's workspace. Only
+// the returned Path is allocated.
+func (g *Graph) ShortestPathWS(ws *Workspace, src, dst int, wf WeightFunc) (Path, bool) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
 		return Path{}, false
 	}
-	dist, parentEdge := g.dijkstra(src, dst, wf)
-	if math.IsInf(dist[dst], 1) {
+	t := g.topoView()
+	weights := ws.materialize(g, t, wf)
+	g.dijkstra(ws, t, weights, int32(src), int32(dst))
+	if !ws.visited(int32(dst)) {
 		return Path{}, false
 	}
-	return g.tracePath(src, dst, dist, parentEdge), true
+	return g.tracePath(ws, src, dst), true
+}
+
+// ShortestDistance returns the minimum path weight from src to dst
+// under wf (ok=false if unreachable) without materializing the path.
+func (g *Graph) ShortestDistance(src, dst int, wf WeightFunc) (float64, bool) {
+	ws := getWS()
+	defer putWS(ws)
+	return g.ShortestDistanceWS(ws, src, dst, wf)
+}
+
+// ShortestDistanceWS is ShortestDistance using the caller's workspace:
+// zero allocations in the steady state.
+func (g *Graph) ShortestDistanceWS(ws *Workspace, src, dst int, wf WeightFunc) (float64, bool) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return math.Inf(1), false
+	}
+	t := g.topoView()
+	weights := ws.materialize(g, t, wf)
+	g.dijkstra(ws, t, weights, int32(src), int32(dst))
+	if !ws.visited(int32(dst)) {
+		return math.Inf(1), false
+	}
+	return ws.dist[dst], true
 }
 
 // ShortestDistances runs Dijkstra from src and returns the full
 // distance array (unreachable vertices get +Inf).
 func (g *Graph) ShortestDistances(src int, wf WeightFunc) []float64 {
-	dist, _ := g.dijkstra(src, -1, wf)
-	return dist
+	ws := getWS()
+	defer putWS(ws)
+	return g.ShortestDistancesWS(ws, src, wf, nil)
 }
 
-// dijkstra computes distances from src; if dst >= 0 it may stop once
-// dst is settled. parentEdge[v] is the edge id used to reach v
-// (-1 for src/unreached).
-func (g *Graph) dijkstra(src, dst int, wf WeightFunc) (dist []float64, parentEdge []int32) {
-	n := len(g.adj)
-	dist = make([]float64, n)
-	parentEdge = make([]int32, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		parentEdge[i] = -1
+// ShortestDistancesWS is ShortestDistances using the caller's
+// workspace, writing into dst (resized as needed; nil allocates). With
+// a reused workspace and a caller-owned dst it is allocation-free.
+func (g *Graph) ShortestDistancesWS(ws *Workspace, src int, wf WeightFunc, dst []float64) []float64 {
+	t := g.topoView()
+	weights := ws.materialize(g, t, wf)
+	g.dijkstra(ws, t, weights, int32(src), -1)
+	return ws.exportDistances(g.n, dst)
+}
+
+// exportDistances resolves the epoch-stamped distance state into a
+// dense array.
+func (w *Workspace) exportDistances(n int, dst []float64) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	dist[src] = 0
-	q := pq{{v: int32(src), dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		v := int(it.v)
-		if it.dist > dist[v] {
+	dst = dst[:n]
+	inf := math.Inf(1)
+	for i := range dst {
+		if w.stamp[i] == w.epoch {
+			dst[i] = w.dist[i]
+		} else {
+			dst[i] = inf
+		}
+	}
+	return dst
+}
+
+// dijkstra computes shortest distances from src over the materialized
+// weight table, stamping dist/parent into ws; if dst >= 0 it stops
+// once dst is settled. Ties between equal-distance heap entries break
+// on vertex id (see heap.go) — an explicit contract the equivalence
+// suite pins.
+func (g *Graph) dijkstra(ws *Workspace, t *topology, weights []float64, src, dst int32) {
+	ws.begin(g.n)
+	ws.stamp[src] = ws.epoch
+	ws.dist[src] = 0
+	ws.parent[src] = -1
+	h := &ws.heap
+	h.push(pqItem{v: src, dist: 0})
+	for h.len() > 0 {
+		it := h.pop()
+		v := it.v
+		if it.dist > ws.dist[v] {
 			continue // stale entry
 		}
 		if v == dst {
-			return dist, parentEdge
+			return
 		}
-		for _, h := range g.adj[v] {
-			w := g.weightOf(wf, int(h.edge))
+		for _, he := range t.half[t.off[v]:t.off[v+1]] {
+			w := weights[he.edge]
 			if math.IsInf(w, 1) {
 				continue
 			}
 			nd := it.dist + w
-			if nd < dist[h.to] {
-				dist[h.to] = nd
-				parentEdge[h.to] = h.edge
-				heap.Push(&q, pqItem{v: h.to, dist: nd})
+			if ws.stamp[he.to] == ws.epoch && nd >= ws.dist[he.to] {
+				continue
 			}
+			ws.stamp[he.to] = ws.epoch
+			ws.dist[he.to] = nd
+			ws.parent[he.to] = he.edge
+			h.push(pqItem{v: he.to, dist: nd})
 		}
 	}
-	return dist, parentEdge
 }
 
-func (g *Graph) tracePath(src, dst int, dist []float64, parentEdge []int32) Path {
-	var edges []int
-	v := dst
-	for v != src {
-		eid := int(parentEdge[v])
-		edges = append(edges, eid)
-		e := g.edges[eid]
+// tracePath materializes the src->dst path from the workspace's
+// parent-edge state: one counting walk to size the slices exactly,
+// then one backward fill — no append growth, no endpoint re-walk.
+func (g *Graph) tracePath(ws *Workspace, src, dst int) Path {
+	hops := 0
+	for v := dst; v != src; hops++ {
+		e := &g.edges[ws.parent[v]]
 		if e.U == v {
 			v = e.V
 		} else {
 			v = e.U
 		}
 	}
-	// Reverse edges and build node list.
-	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
-		edges[i], edges[j] = edges[j], edges[i]
+	if hops == 0 {
+		return Path{Nodes: []int{src}, Weight: ws.dist[dst]}
 	}
-	nodes := make([]int, 0, len(edges)+1)
-	nodes = append(nodes, src)
-	cur := src
-	for _, eid := range edges {
-		e := g.edges[eid]
-		if e.U == cur {
-			cur = e.V
+	nodes := make([]int, hops+1)
+	edges := make([]int, hops)
+	nodes[hops] = dst
+	v := dst
+	for i := hops - 1; i >= 0; i-- {
+		eid := ws.parent[v]
+		edges[i] = int(eid)
+		e := &g.edges[eid]
+		if e.U == v {
+			v = e.V
 		} else {
-			cur = e.U
+			v = e.U
 		}
-		nodes = append(nodes, cur)
+		nodes[i] = v
 	}
-	return Path{Nodes: nodes, Edges: edges, Weight: dist[dst]}
+	return Path{Nodes: nodes, Edges: edges, Weight: ws.dist[dst]}
 }
 
 // Components returns the connected components as vertex lists, in
 // ascending order of their smallest vertex.
 func (g *Graph) Components() [][]int {
-	n := len(g.adj)
+	n := g.n
+	t := g.topoView()
 	comp := make([]int, n)
 	for i := range comp {
 		comp[i] = -1
 	}
 	var out [][]int
-	var stack []int
+	var stack []int32
 	for s := 0; s < n; s++ {
 		if comp[s] != -1 {
 			continue
 		}
 		id := len(out)
 		comp[s] = id
-		stack = append(stack[:0], s)
+		stack = append(stack[:0], int32(s))
 		var members []int
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			members = append(members, v)
-			for _, h := range g.adj[v] {
+			members = append(members, int(v))
+			for _, h := range t.neighbors(v) {
 				if comp[h.to] == -1 {
 					comp[h.to] = id
-					stack = append(stack, int(h.to))
+					stack = append(stack, h.to)
 				}
 			}
 		}
@@ -277,30 +422,40 @@ func (g *Graph) Connected(u, v int) bool {
 // weights: the result is the best achievable worst-case sharing when
 // routing from src.
 func (g *Graph) MinimaxDistances(src int, wf WeightFunc) []float64 {
-	n := len(g.adj)
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	dist[src] = 0
-	q := pq{{v: int32(src), dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		v := int(it.v)
-		if it.dist > dist[v] {
+	ws := getWS()
+	defer putWS(ws)
+	return g.MinimaxDistancesWS(ws, src, wf, nil)
+}
+
+// MinimaxDistancesWS is MinimaxDistances using the caller's workspace,
+// writing into dst (resized as needed; nil allocates).
+func (g *Graph) MinimaxDistancesWS(ws *Workspace, src int, wf WeightFunc, dst []float64) []float64 {
+	t := g.topoView()
+	weights := ws.materialize(g, t, wf)
+	ws.begin(g.n)
+	ws.stamp[src] = ws.epoch
+	ws.dist[src] = 0
+	h := &ws.heap
+	h.push(pqItem{v: int32(src), dist: 0})
+	for h.len() > 0 {
+		it := h.pop()
+		v := it.v
+		if it.dist > ws.dist[v] {
 			continue
 		}
-		for _, h := range g.adj[v] {
-			w := g.weightOf(wf, int(h.edge))
+		for _, he := range t.half[t.off[v]:t.off[v+1]] {
+			w := weights[he.edge]
 			if math.IsInf(w, 1) {
 				continue
 			}
 			nd := math.Max(it.dist, w)
-			if nd < dist[h.to] {
-				dist[h.to] = nd
-				heap.Push(&q, pqItem{v: h.to, dist: nd})
+			if ws.stamp[he.to] == ws.epoch && nd >= ws.dist[he.to] {
+				continue
 			}
+			ws.stamp[he.to] = ws.epoch
+			ws.dist[he.to] = nd
+			h.push(pqItem{v: he.to, dist: nd})
 		}
 	}
-	return dist
+	return ws.exportDistances(g.n, dst)
 }

@@ -10,20 +10,40 @@ import (
 // algorithm. Fewer than k paths are returned if the graph does not
 // contain that many distinct loopless paths.
 func (g *Graph) KShortestPaths(src, dst, k int, wf WeightFunc) []Path {
+	ws := getWS()
+	defer putWS(ws)
+	return g.KShortestPathsWS(ws, src, dst, k, wf)
+}
+
+// KShortestPathsWS is KShortestPaths using the caller's workspace.
+//
+// Spur exclusions (the edges and root nodes Yen bans per deviation)
+// are expressed as +Inf masks written in place onto a scratch copy of
+// the materialized weight table, rebuilt by a flat copy each spur
+// iteration — no per-spur maps, no closure dispatch in the inner
+// Dijkstra. Banning a node masks every incident edge via the CSR
+// adjacency, which excludes exactly the edges the reference
+// formulation rejects by endpoint test.
+func (g *Graph) KShortestPathsWS(ws *Workspace, src, dst, k int, wf WeightFunc) []Path {
 	if k <= 0 {
 		return nil
 	}
-	first, ok := g.ShortestPath(src, dst, wf)
-	if !ok {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
 		return nil
 	}
+	t := g.topoView()
+	base := ws.materialize(g, t, wf)
+	g.dijkstra(ws, t, base, int32(src), int32(dst))
+	if !ws.visited(int32(dst)) {
+		return nil
+	}
+	first := g.tracePath(ws, src, dst)
+
 	paths := []Path{first}
 	// Candidate set, kept sorted by weight. Small k keeps this cheap.
 	var candidates []Path
 
-	bannedEdges := make(map[int]bool)
-	bannedNodes := make(map[int]bool)
-
+	spurW := ws.spurTable(len(g.edges))
 	for len(paths) < k {
 		prev := paths[len(paths)-1]
 		// Deviate at every spur node of the previous path.
@@ -32,40 +52,33 @@ func (g *Graph) KShortestPaths(src, dst, k int, wf WeightFunc) []Path {
 			rootNodes := prev.Nodes[:i+1]
 			rootEdges := prev.Edges[:i]
 
-			clearMap(bannedEdges)
-			clearMap(bannedNodes)
+			copy(spurW, base)
+			// Ban root nodes (except the spur) to keep paths loopless:
+			// all of a banned node's incident edges are masked.
+			for _, v := range rootNodes[:len(rootNodes)-1] {
+				for _, he := range t.neighbors(int32(v)) {
+					spurW[he.edge] = math.Inf(1)
+				}
+			}
 			// Ban edges that would recreate an already-found path with
 			// the same root.
 			for _, p := range paths {
 				if sameIntPrefix(p.Nodes, rootNodes) && len(p.Edges) > i {
-					bannedEdges[p.Edges[i]] = true
+					spurW[p.Edges[i]] = math.Inf(1)
 				}
 			}
 			for _, p := range candidates {
 				if sameIntPrefix(p.Nodes, rootNodes) && len(p.Edges) > i {
-					bannedEdges[p.Edges[i]] = true
+					spurW[p.Edges[i]] = math.Inf(1)
 				}
-			}
-			// Ban root nodes (except the spur) to keep paths loopless.
-			for _, v := range rootNodes[:len(rootNodes)-1] {
-				bannedNodes[v] = true
 			}
 
-			spurWF := func(eid int) float64 {
-				if bannedEdges[eid] {
-					return math.Inf(1)
-				}
-				e := g.edges[eid]
-				if bannedNodes[e.U] || bannedNodes[e.V] {
-					return math.Inf(1)
-				}
-				return g.weightOf(wf, eid)
-			}
-			spurPath, ok := g.ShortestPath(spur, dst, spurWF)
-			if !ok {
+			g.dijkstra(ws, t, spurW, int32(spur), int32(dst))
+			if !ws.visited(int32(dst)) {
 				continue
 			}
-			total := joinPaths(g, rootNodes, rootEdges, spurPath, wf)
+			spurPath := g.tracePath(ws, spur, dst)
+			total := joinPaths(rootNodes, rootEdges, spurPath, base)
 			if pathKnown(paths, total) || pathKnown(candidates, total) {
 				continue
 			}
@@ -83,12 +96,6 @@ func (g *Graph) KShortestPaths(src, dst, k int, wf WeightFunc) []Path {
 	return paths
 }
 
-func clearMap(m map[int]bool) {
-	for k := range m {
-		delete(m, k)
-	}
-}
-
 func sameIntPrefix(full, prefix []int) bool {
 	if len(full) < len(prefix) {
 		return false
@@ -101,7 +108,10 @@ func sameIntPrefix(full, prefix []int) bool {
 	return true
 }
 
-func joinPaths(g *Graph, rootNodes, rootEdges []int, spur Path, wf WeightFunc) Path {
+// joinPaths splices the root onto the spur path, re-deriving the total
+// weight from the base weight table (the spur Dijkstra ran over masked
+// weights).
+func joinPaths(rootNodes, rootEdges []int, spur Path, base []float64) Path {
 	nodes := make([]int, 0, len(rootNodes)+len(spur.Nodes)-1)
 	nodes = append(nodes, rootNodes...)
 	nodes = append(nodes, spur.Nodes[1:]...)
@@ -110,7 +120,7 @@ func joinPaths(g *Graph, rootNodes, rootEdges []int, spur Path, wf WeightFunc) P
 	edges = append(edges, spur.Edges...)
 	var w float64
 	for _, eid := range edges {
-		w += g.weightOf(wf, eid)
+		w += base[eid]
 	}
 	return Path{Nodes: nodes, Edges: edges, Weight: w}
 }

@@ -224,6 +224,7 @@ func BuildWithProfiles(opts Options, profiles []Profile) *Result {
 		c := &a.Corridors[eid]
 		return c.LengthKm * rowFactor(c.ROW)
 	}
+	alignWS := graph.NewWorkspace() // serial alignment loop: one workspace
 	for _, p := range profiles {
 		if !p.Mapped() || p.Geocoded {
 			continue
@@ -231,7 +232,7 @@ func BuildWithProfiles(opts Options, profiles []Profile) *Result {
 		fp := res.Truth[p.Name]
 		chosen := make(map[int]bool)
 		for _, route := range fp.Routes {
-			cands := g.KShortestPaths(route[0], route[1], opts.AlignCandidates, plain)
+			cands := g.KShortestPathsWS(alignWS, route[0], route[1], opts.AlignCandidates, plain)
 			if len(cands) == 0 {
 				continue
 			}

@@ -148,13 +148,18 @@ func GenerateFootprint(a *atlas.Atlas, g *graph.Graph, prof Profile, seed int64,
 	}
 	wf := costFunc(a, prof, occupancy)
 
+	// One workspace (and one reused distance buffer) serves every
+	// attachment and redundancy query of this footprint.
+	ws := graph.NewWorkspace()
+	var dist []float64
+
 	connected := make(map[int]bool)
 	connected[fp.POPs[0]] = true
 	for _, pop := range fp.POPs[1:] {
 		if connected[pop] {
 			continue
 		}
-		dist := g.ShortestDistances(pop, wf)
+		dist = g.ShortestDistancesWS(ws, pop, wf, dist)
 		// Scan vertices in ascending order so distance ties break
 		// deterministically (map iteration order would not).
 		best, bestD := -1, math.Inf(1)
@@ -166,7 +171,7 @@ func GenerateFootprint(a *atlas.Atlas, g *graph.Graph, prof Profile, seed int64,
 		if best < 0 {
 			continue // isolated; cannot attach (should not happen on a connected atlas)
 		}
-		path, ok := g.ShortestPath(pop, best, wf)
+		path, ok := g.ShortestPathWS(ws, pop, best, wf)
 		if !ok {
 			continue
 		}
@@ -195,7 +200,7 @@ func GenerateFootprint(a *atlas.Atlas, g *graph.Graph, prof Profile, seed int64,
 		if p == q {
 			continue
 		}
-		path, ok := g.ShortestPath(p, q, divWF)
+		path, ok := g.ShortestPathWS(ws, p, q, divWF)
 		if !ok {
 			continue
 		}

@@ -195,8 +195,9 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 
 	// bestReroute returns, for a target conduit, the minimum worst-
 	// case sharing reachable between its endpoints avoiding the
-	// conduit itself (the quantity an addition can improve).
-	bestReroute := func(target fiber.ConduitID) (maxSharing float64, path graph.Path, ok bool) {
+	// conduit itself (the quantity an addition can improve). ws is the
+	// calling goroutine's scratch workspace.
+	bestReroute := func(ws *graph.Workspace, target fiber.ConduitID) (maxSharing float64, path graph.Path, ok bool) {
 		c := m.Conduit(target)
 		wf := func(eid int) float64 {
 			if fiber.ConduitID(eid) == target {
@@ -204,7 +205,7 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 			}
 			return sharing(eid)
 		}
-		path, ok = g.ShortestPath(int(c.A), int(c.B), wf)
+		path, ok = g.ShortestPathWS(ws, int(c.A), int(c.B), wf)
 		if !ok {
 			return 0, path, false
 		}
@@ -218,6 +219,10 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 
 	res := &AddResult{Improvement: make(map[string][]float64)}
 
+	// Workspace for the serial phases (the parallel scans get one per
+	// worker from the pool helper).
+	serialWS := graph.NewWorkspace()
+
 	// afterRisk recomputes an ISP's average sharing assuming its
 	// targets are re-routed wherever that lowers worst-case sharing.
 	afterRisk := func(st ispState) float64 {
@@ -230,7 +235,7 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 				if tgt != cid {
 					continue
 				}
-				if alt, _, ok := bestReroute(cid); ok && alt < orig {
+				if alt, _, ok := bestReroute(serialWS, cid); ok && alt < orig {
 					replaced = alt
 				}
 			}
@@ -269,7 +274,7 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 				fieldOrder = append(fieldOrder, tgt)
 			}
 		}
-		err := par.RunCtx(ctx, len(fieldOrder), opts.Workers, func(i int) {
+		err := par.RunCtxWith(ctx, len(fieldOrder), opts.Workers, graph.NewWorkspace, func(i int, ws *graph.Workspace) {
 			tgt := fieldOrder[i]
 			f := fields[tgt]
 			c := m.Conduit(tgt)
@@ -279,17 +284,20 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 				}
 				return sharing(eid)
 			}
+			// The distance fields outlive the scan (the candidate
+			// scoring reads them), so they are fresh allocations — the
+			// workspace only absorbs the heap/stamp/weight-table churn.
 			if opts.Exact {
-				f.distA = g.MinimaxDistances(int(c.A), wf)
-				f.distB = g.MinimaxDistances(int(c.B), wf)
+				f.distA = g.MinimaxDistancesWS(ws, int(c.A), wf, nil)
+				f.distB = g.MinimaxDistancesWS(ws, int(c.B), wf, nil)
 				f.current = f.distA[int(c.B)]
 			} else {
-				cur, _, ok := bestReroute(tgt)
+				cur, _, ok := bestReroute(ws, tgt)
 				if !ok {
 					cur = math.Inf(1)
 				}
-				f.distA = g.ShortestDistances(int(c.A), wf)
-				f.distB = g.ShortestDistances(int(c.B), wf)
+				f.distA = g.ShortestDistancesWS(ws, int(c.A), wf, nil)
+				f.distB = g.ShortestDistancesWS(ws, int(c.B), wf, nil)
 				f.current = cur
 			}
 		})

@@ -152,21 +152,22 @@ func LatencyStudyCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, opts Lat
 	}
 
 	// Each pair is an independent read-only query against the two
-	// graphs, so the sweep fans out over the worker pool; dropped
-	// pairs (no lit path) are filtered during the ordered reduce.
+	// graphs, so the sweep fans out over the worker pool with one
+	// reusable graph workspace per worker; dropped pairs (no lit path)
+	// are filtered during the ordered reduce.
 	type pairResult struct {
 		pl PairLatency
 		ok bool
 	}
 	litWF := m.LitWeight()
-	computed, err := par.MapCtx(ctx, len(pairs), opts.Workers, func(i int) pairResult {
+	computed, err := par.MapCtxWith(ctx, len(pairs), opts.Workers, graph.NewWorkspace, func(i int, ws *graph.Workspace) pairResult {
 		p := pairs[i]
 		na, nb := m.Node(p.a), m.Node(p.b)
 		pl := PairLatency{A: p.a, B: p.b}
 		pl.LosMs = geo.FiberLatencyMs(na.Loc.DistanceKm(nb.Loc))
 
 		// Existing physical paths over lit conduits.
-		paths := g.KShortestPaths(int(p.a), int(p.b), opts.KPaths, litWF)
+		paths := g.KShortestPathsWS(ws, int(p.a), int(p.b), opts.KPaths, litWF)
 		if len(paths) == 0 {
 			return pairResult{}
 		}
@@ -183,10 +184,11 @@ func LatencyStudyCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, opts Lat
 		pl.BestMs = geo.FiberLatencyMs(best)
 		pl.AvgMs = geo.FiberLatencyMs(sum / float64(n))
 
-		// Best right-of-way path over the augmented ROW graph.
+		// Best right-of-way distance over the augmented ROW graph (the
+		// route itself is not needed here, only its length).
 		if na.AtlasCity >= 0 && nb.AtlasCity >= 0 {
-			if rp, ok := rg.ShortestPath(na.AtlasCity, nb.AtlasCity, nil); ok {
-				pl.RowMs = geo.FiberLatencyMs(rp.Weight)
+			if d, ok := rg.ShortestDistanceWS(ws, na.AtlasCity, nb.AtlasCity, nil); ok {
+				pl.RowMs = geo.FiberLatencyMs(d)
 			}
 		}
 		if pl.RowMs == 0 {

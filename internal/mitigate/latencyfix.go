@@ -7,6 +7,7 @@ import (
 	"intertubes/internal/atlas"
 	"intertubes/internal/fiber"
 	"intertubes/internal/geo"
+	"intertubes/internal/graph"
 	"intertubes/internal/par"
 )
 
@@ -59,10 +60,11 @@ func LatencyImprovementsCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, s
 	}
 
 	// Each pair is an independent read-only ROW-graph query, so the
-	// sweep fans out over the worker pool; skipped pairs are filtered
-	// during the ordered reduce, keeping the output identical for any
-	// worker count.
-	computed, err := par.MapCtx(ctx, len(study), opts.Workers, func(i int) *LatencyImprovement {
+	// sweep fans out over the worker pool with one reusable graph
+	// workspace per worker; skipped pairs are filtered during the
+	// ordered reduce, keeping the output identical for any worker
+	// count.
+	computed, err := par.MapCtxWith(ctx, len(study), opts.Workers, graph.NewWorkspace, func(i int, ws *graph.Workspace) *LatencyImprovement {
 		pl := study[i]
 		if pl.BestMs <= pl.RowMs*1.02 {
 			return nil // already at the ROW bound
@@ -71,7 +73,7 @@ func LatencyImprovementsCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, s
 		if na.AtlasCity < 0 || nb.AtlasCity < 0 {
 			return nil
 		}
-		path, ok := rg.ShortestPath(na.AtlasCity, nb.AtlasCity, nil)
+		path, ok := rg.ShortestPathWS(ws, na.AtlasCity, nb.AtlasCity, nil)
 		if !ok {
 			return nil
 		}

@@ -84,6 +84,8 @@ const hopPenalty = 2.0
 // paper shows 3).
 func RobustnessSuggestion(m *fiber.Map, mx *risk.Matrix, targets []fiber.ConduitID, topPeers int) []ISPRobustness {
 	g := m.Graph()
+	// One workspace serves every shortest-path query of the scan.
+	ws := graph.NewWorkspace()
 	var out []ISPRobustness
 	for _, isp := range mx.ISPs {
 		r := ISPRobustness{ISP: isp, PI: newStat(), SRR: newStat()}
@@ -108,7 +110,7 @@ func RobustnessSuggestion(m *fiber.Map, mx *risk.Matrix, targets []fiber.Conduit
 				}
 				return float64(s) + hopPenalty
 			}
-			path, ok := g.ShortestPath(int(c.A), int(c.B), srWeight)
+			path, ok := g.ShortestPathWS(ws, int(c.A), int(c.B), srWeight)
 			if !ok {
 				continue
 			}

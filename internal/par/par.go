@@ -104,16 +104,28 @@ func ChunkSeed(seed int64, chunk int) int64 {
 // forChunks runs fn over every chunk without a cancellation context;
 // it can never fail.
 func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
-	_ = forChunksCtx(nil, lo, hi, workers, fn)
+	_ = forChunksWorkerCtx(nil, lo, hi, workers, func(_, chunk, clo, chi int) {
+		fn(chunk, clo, chi)
+	})
 }
 
-// forChunksCtx runs fn over every chunk of the absolute index range
-// [lo, hi), claiming chunks from a shared atomic counter. The grid is
-// absolute: a chunk's index is its position in [0, ...), so a caller
-// processing a window [lo, hi) of a larger range sees the same chunk
-// seeds the whole-range call would. fn receives the chunk index and
-// the clipped [clo, chi) item range. A panic in any worker is
-// re-raised in the caller.
+// forChunksCtx is forChunksWorkerCtx for callers that do not need the
+// worker id.
+func forChunksCtx(ctx context.Context, lo, hi, workers int, fn func(chunk, clo, chi int)) error {
+	return forChunksWorkerCtx(ctx, lo, hi, workers, func(_, chunk, clo, chi int) {
+		fn(chunk, clo, chi)
+	})
+}
+
+// forChunksWorkerCtx runs fn over every chunk of the absolute index
+// range [lo, hi), claiming chunks from a shared atomic counter. The
+// grid is absolute: a chunk's index is its position in [0, ...), so a
+// caller processing a window [lo, hi) of a larger range sees the same
+// chunk seeds the whole-range call would. fn receives the claiming
+// worker's id in [0, workers) — stable for the lifetime of one call,
+// carrying no cross-call meaning — plus the chunk index and the
+// clipped [clo, chi) item range. A panic in any worker is re-raised
+// in the caller.
 //
 // Cancellation is cooperative and checked only at chunk-grant
 // boundaries: a claimed chunk always runs to completion, no further
@@ -122,7 +134,7 @@ func forChunks(lo, hi, workers int, fn func(chunk, clo, chi int)) {
 // executed — never reorder them or move the grid — a run that returns
 // nil is bit-identical to the serial order. A nil ctx means the run
 // cannot be canceled.
-func forChunksCtx(ctx context.Context, lo, hi, workers int, fn func(chunk, clo, chi int)) error {
+func forChunksWorkerCtx(ctx context.Context, lo, hi, workers int, fn func(worker, chunk, clo, chi int)) error {
 	ctxErr := func() error {
 		if ctx == nil {
 			return nil
@@ -153,10 +165,10 @@ func forChunksCtx(ctx context.Context, lo, hi, workers int, fn func(chunk, clo, 
 	poolWorkers.Set(float64(workers))
 	start := time.Now()
 	var busyNanos atomic.Int64
-	run := func(c int) {
+	run := func(worker, c int) {
 		clo, chi := clip(c)
 		t0 := time.Now()
-		fn(c, clo, chi)
+		fn(worker, c, clo, chi)
 		busyNanos.Add(int64(time.Since(t0)))
 		poolChunks.Inc()
 		poolItems.Add(int64(chi - clo))
@@ -179,7 +191,7 @@ func forChunksCtx(ctx context.Context, lo, hi, workers int, fn func(chunk, clo, 
 				finish()
 				return err
 			}
-			run(c)
+			run(0, c)
 		}
 		finish()
 		return nil
@@ -193,7 +205,7 @@ func forChunksCtx(ctx context.Context, lo, hi, workers int, fn func(chunk, clo, 
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -218,9 +230,9 @@ func forChunksCtx(ctx context.Context, lo, hi, workers int, fn func(chunk, clo, 
 				if c > lastChunk {
 					return
 				}
-				run(c)
+				run(worker, c)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	finish()
@@ -330,6 +342,87 @@ func MapSeededRangeCtx[T any](ctx context.Context, lo, hi, workers int, seed int
 		rng := rand.New(rand.NewSource(ChunkSeed(seed, chunk)))
 		for i := clo; i < chi; i++ {
 			out[i-lo] = fn(i, rng)
+		}
+	})
+	return out, err
+}
+
+// workerStates lazily constructs one S per worker id. Each worker
+// only ever touches its own slot, so no locking is needed. State is
+// scoped to a single pool run: it exists to amortize scratch memory
+// (e.g. graph.Workspace), and because results must stay bit-identical
+// at any worker count, fn must never let state influence its output —
+// only its speed.
+type workerStates[S any] struct {
+	newState func() S
+	states   []S
+	made     []bool
+}
+
+func newWorkerStates[S any](workers int, newState func() S) *workerStates[S] {
+	workers = Workers(workers)
+	return &workerStates[S]{
+		newState: newState,
+		states:   make([]S, workers),
+		made:     make([]bool, workers),
+	}
+}
+
+func (ws *workerStates[S]) get(worker int) S {
+	if !ws.made[worker] {
+		ws.states[worker] = ws.newState()
+		ws.made[worker] = true
+	}
+	return ws.states[worker]
+}
+
+// RunCtxWith is RunCtx with per-worker state: newState is called at
+// most once per worker (lazily, on its first chunk), and fn receives
+// the claiming worker's state alongside the index. The state must be
+// pure scratch — reusable buffers, workspaces — that can change how
+// fast fn runs but never what it returns; the worker-invariance
+// contract of the pool is otherwise broken.
+func RunCtxWith[S any](ctx context.Context, n, workers int, newState func() S, fn func(i int, state S)) error {
+	states := newWorkerStates(workers, newState)
+	return forChunksWorkerCtx(ctx, 0, n, workers, func(worker, _, clo, chi int) {
+		s := states.get(worker)
+		for i := clo; i < chi; i++ {
+			fn(i, s)
+		}
+	})
+}
+
+// MapCtxWith is MapCtx with per-worker state (see RunCtxWith).
+func MapCtxWith[S, T any](ctx context.Context, n, workers int, newState func() S, fn func(i int, state S) T) ([]T, error) {
+	if n <= 0 {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := RunCtxWith(ctx, n, workers, newState, func(i int, s S) { out[i] = fn(i, s) })
+	return out, err
+}
+
+// MapSeededRangeCtxWith is MapSeededRangeCtx with per-worker state
+// (see RunCtxWith): the chunk grid and per-chunk rand streams are
+// exactly those of the stateless call, so a nil error still guarantees
+// a bit-identical result at any worker count.
+func MapSeededRangeCtxWith[S, T any](ctx context.Context, lo, hi, workers int, seed int64, newState func() S, fn func(i int, rng *rand.Rand, state S) T) ([]T, error) {
+	if hi <= lo {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, nil
+	}
+	states := newWorkerStates(workers, newState)
+	out := make([]T, hi-lo)
+	err := forChunksWorkerCtx(ctx, lo, hi, workers, func(worker, chunk, clo, chi int) {
+		s := states.get(worker)
+		rng := rand.New(rand.NewSource(ChunkSeed(seed, chunk)))
+		for i := clo; i < chi; i++ {
+			out[i-lo] = fn(i, rng, s)
 		}
 	})
 	return out, err

@@ -28,6 +28,7 @@
 // Specs over 1 MiB are rejected with 413. Every handler runs under
 // panic containment: a panic yields a 500 and a counted metric, never
 // a crashed server.
+//
 //	GET /api/scenarios              scenario presets + cached results
 //	GET /geojson/{layer}            fibermap | roads | rails | pipelines | annotated
 //

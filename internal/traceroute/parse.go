@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"intertubes/internal/fiber"
+	"intertubes/internal/graph"
 	"intertubes/internal/par"
 )
 
@@ -142,6 +143,7 @@ func (c *Campaign) OverlayParsed(traces []ParsedTrace) int {
 		}
 	}
 	memo := par.NewMemo[pathKey, []fiber.ConduitID]()
+	ws := graph.NewWorkspace() // serial overlay: one workspace for every query
 	contributed := 0
 	for _, pt := range traces {
 		// Rebuild a Trace with ground-truth-free city hops.
@@ -165,7 +167,7 @@ func (c *Campaign) OverlayParsed(traces []ParsedTrace) int {
 			continue
 		}
 		tr := Trace{SrcCity: firstCity, DstCity: lastCity, Hops: hops}
-		attrs, misses := c.attribute(tr, mg, cityNode, memo)
+		attrs, misses := c.attribute(ws, tr, mg, cityNode, memo)
 		c.apply(tr.WestToEast(c), attrs, misses)
 		if len(attrs) > 0 {
 			contributed++

@@ -168,9 +168,9 @@ func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) (*Campaig
 			return best
 		})
 	}
-	memoPath := func(ispIdx int, ctx *ispContext, from, to int) (graph.Path, bool) {
+	memoPath := func(ws *graph.Workspace, ispIdx int, ctx *ispContext, from, to int) (graph.Path, bool) {
 		path := truthPaths.Do(pathKey{isp: ispIdx, a: from, b: to}, func() graph.Path {
-			p, _ := g.ShortestPath(from, to, ctx.truthWF)
+			p, _ := g.ShortestPathWS(ws, from, to, ctx.truthWF)
 			return p
 		})
 		return path, len(path.Edges) > 0
@@ -223,7 +223,7 @@ func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) (*Campaig
 		attrs    []segAttr
 		misses   int
 	}
-	probe := func(i int, prng *rand.Rand) probeOut {
+	probe := func(i int, prng *rand.Rand, ws *graph.Workspace) probeOut {
 		sp := specs[i]
 		if sp.src == sp.dst || sp.src < 0 {
 			return probeOut{}
@@ -249,8 +249,8 @@ func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) (*Campaig
 			if entry < 0 || exit < 0 || entry == hub || exit == hub {
 				return probeOut{}
 			}
-			p1, ok1 := memoPath(sp.ispIdx, ctx, entry, hub)
-			p2, ok2 := memoPath(isp2Idx, ctx2, hub, exit)
+			p1, ok1 := memoPath(ws, sp.ispIdx, ctx, entry, hub)
+			p2, ok2 := memoPath(ws, isp2Idx, ctx2, hub, exit)
 			if !ok1 || !ok2 {
 				return probeOut{}
 			}
@@ -261,14 +261,14 @@ func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) (*Campaig
 			if entry < 0 || exit < 0 || entry == exit {
 				return probeOut{} // no long-haul transit on this trace
 			}
-			path, ok := memoPath(sp.ispIdx, ctx, entry, exit)
+			path, ok := memoPath(ws, sp.ispIdx, ctx, entry, exit)
 			if !ok {
 				return probeOut{}
 			}
 			trace = c.synthesize(prng, ctx, sp.src, sp.dst, path)
 		}
 		out := probeOut{ok: true, trace: trace, westEast: trace.WestToEast(c)}
-		out.attrs, out.misses = c.attribute(trace, mg, cityNode, overlayMemo)
+		out.attrs, out.misses = c.attribute(ws, trace, mg, cityNode, overlayMemo)
 		return out
 	}
 
@@ -286,7 +286,7 @@ func RunCtx(ctx context.Context, res *mapbuilder.Result, opts Options) (*Campaig
 		}
 		_, synthSpan := obs.Trace(ctx, "traceroute.synthesize")
 		synthSpan.SetWorkers(par.Workers(opts.Workers))
-		outs, err := par.MapSeededRangeCtx(ctx, lo, hi, opts.Workers, synthSeed, probe)
+		outs, err := par.MapSeededRangeCtxWith(ctx, lo, hi, opts.Workers, synthSeed, graph.NewWorkspace, probe)
 		synthSpan.SetItems(int64(hi - lo))
 		synthSpan.End()
 		if err != nil {
@@ -418,7 +418,7 @@ func (c *Campaign) synthesizeTwo(rng *rand.Rand, ctx1, ctx2 *ispContext, src, ds
 // each attribution against ground truth. It mutates nothing on the
 // campaign: the counter updates happen in apply, on the reducing
 // goroutine.
-func (c *Campaign) attribute(t Trace, mg *graph.Graph, cityNode []int, memo *par.Memo[pathKey, []fiber.ConduitID]) (attrs []segAttr, misses int) {
+func (c *Campaign) attribute(ws *graph.Workspace, t Trace, mg *graph.Graph, cityNode []int, memo *par.Memo[pathKey, []fiber.ConduitID]) (attrs []segAttr, misses int) {
 	m := c.res.Map
 
 	// Decode the hops a measurement study could decode.
@@ -443,7 +443,7 @@ func (c *Campaign) attribute(t Trace, mg *graph.Graph, cityNode []int, memo *par
 			continue
 		}
 		isp := b.isp // the far end's provider owns the segment
-		conduits := c.segmentConduits(a.city, b.city, isp, mg, cityNode, memo)
+		conduits := c.segmentConduits(ws, a.city, b.city, isp, mg, cityNode, memo)
 		if conduits == nil {
 			misses++
 			continue
@@ -498,29 +498,29 @@ func (c *Campaign) apply(westEast bool, attrs []segAttr, misses int) {
 // conduit (the provider may be absent from the published map
 // entirely — that is how "additional ISPs" are discovered). A nil
 // return means the segment cannot be attributed.
-func (c *Campaign) segmentConduits(cityA, cityB int, isp string, mg *graph.Graph, cityNode []int, memo *par.Memo[pathKey, []fiber.ConduitID]) []fiber.ConduitID {
+func (c *Campaign) segmentConduits(ws *graph.Workspace, cityA, cityB int, isp string, mg *graph.Graph, cityNode []int, memo *par.Memo[pathKey, []fiber.ConduitID]) []fiber.ConduitID {
 	idx, ok := c.ispIndex[isp]
 	if !ok {
 		// A provider outside the pre-assigned index set (possible only
 		// for external corpora): compute uncached rather than have
 		// racing workers grow the index map.
-		return c.computeSegmentConduits(cityA, cityB, isp, mg, cityNode)
+		return c.computeSegmentConduits(ws, cityA, cityB, isp, mg, cityNode)
 	}
 	key := pathKey{isp: idx, a: cityA, b: cityB}
 	return memo.Do(key, func() []fiber.ConduitID {
-		return c.computeSegmentConduits(cityA, cityB, isp, mg, cityNode)
+		return c.computeSegmentConduits(ws, cityA, cityB, isp, mg, cityNode)
 	})
 }
 
-func (c *Campaign) computeSegmentConduits(cityA, cityB int, isp string, mg *graph.Graph, cityNode []int) []fiber.ConduitID {
+func (c *Campaign) computeSegmentConduits(ws *graph.Workspace, cityA, cityB int, isp string, mg *graph.Graph, cityNode []int) []fiber.ConduitID {
 	m := c.res.Map
 	na, nb := cityNode[cityA], cityNode[cityB]
 	if na < 0 || nb < 0 {
 		return nil
 	}
-	path, ok := mg.ShortestPath(na, nb, m.TenantWeight(isp))
+	path, ok := mg.ShortestPathWS(ws, na, nb, m.TenantWeight(isp))
 	if !ok {
-		path, ok = mg.ShortestPath(na, nb, m.LitWeight())
+		path, ok = mg.ShortestPathWS(ws, na, nb, m.LitWeight())
 	}
 	if !ok {
 		return nil

@@ -7,6 +7,10 @@
 #   BENCH=Figure1 scripts/bench.sh   # filter by benchmark name
 #   BENCHTIME=1x scripts/bench.sh    # quick smoke pass
 #   OUT=custom.json scripts/bench.sh
+#
+# The graph-kernel micro-benchmarks (DijkstraSweep, KShortestPaths,
+# EdgeBetweenness) ride along with the figure benchmarks; `make
+# bench-smoke` runs just those for one iteration as a CI check.
 set -eu
 
 cd "$(dirname "$0")/.."
