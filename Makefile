@@ -27,11 +27,12 @@ fuzz:
 bench:
 	sh scripts/bench.sh
 
-# bench-smoke runs the graph-kernel micro-benchmarks for one iteration
-# each — a fast CI check that the benchmarks themselves still build and
+# bench-smoke runs the graph-kernel micro-benchmarks and the
+# clone-vs-overlay scenario pairs for one iteration each — a fast CI
+# check that the benchmarks themselves still build and
 # run (it does not overwrite BENCH_obs.json).
 bench-smoke:
-	BENCH='DijkstraSweep|KShortestPaths$$|EdgeBetweenness' BENCHTIME=1x OUT=BENCH_smoke.json sh scripts/bench.sh
+	BENCH='DijkstraSweep|KShortestPaths$$|EdgeBetweenness|ScenarioEvaluate|ScenarioSweep' BENCHTIME=1x OUT=BENCH_smoke.json sh scripts/bench.sh
 	rm -f BENCH_smoke.json
 
 clean:

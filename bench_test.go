@@ -11,18 +11,21 @@ package intertubes_test
 // report its headline number as a custom metric where one exists.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 
 	"intertubes"
+	"intertubes/internal/fiber"
 	"intertubes/internal/geo"
 	"intertubes/internal/graph"
 	"intertubes/internal/mapbuilder"
 	"intertubes/internal/mitigate"
 	"intertubes/internal/records"
 	"intertubes/internal/risk"
+	"intertubes/internal/scenario"
 	"intertubes/internal/traceroute"
 )
 
@@ -600,6 +603,105 @@ func BenchmarkWorkersAddConduits(b *testing.B) {
 				added = len(res.Additions)
 			}
 			b.ReportMetric(float64(added), "conduits-added")
+		})
+	}
+}
+
+// ---- Scenario engine: clone vs overlay evaluation paths. ----
+//
+// Each pair below runs the same workload through the retained
+// clone-per-scenario reference path and the copy-on-write overlay
+// path (see DESIGN.md "Snapshot overlays"). The two paths produce
+// byte-identical Result JSON — the differential suite in
+// internal/scenario pins that — so the pair measures pure evaluation
+// cost: the overlay/clone ns/op ratio in BENCH_obs.json is the
+// tentpole's throughput claim.
+
+// scenarioModes names the two evaluation paths for sub-benchmarks.
+func scenarioModes() []struct {
+	name  string
+	clone bool
+} {
+	return []struct {
+		name  string
+		clone bool
+	}{{"clone", true}, {"overlay", false}}
+}
+
+// scenarioSweepBatch is a representative disaster grid: a sweep of
+// localized circular disaster footprints centered on map nodes
+// spread across the atlas (the ROADMAP's disaster-grid scale item),
+// plus the global what-ifs a campaign mixes in — escalating
+// shared-conduit cuts, a provider removal, and a new build.
+func scenarioSweepBatch() []scenario.Scenario {
+	isps := benchMx.ISPs
+	m := benchRes.Map
+	batch := make([]scenario.Scenario, 0, 16)
+	n := m.NumNodes()
+	for i := 0; i < 10; i++ {
+		loc := m.Node(fiber.NodeID(i * n / 10)).Loc
+		batch = append(batch, scenario.Scenario{
+			Regions: []scenario.Region{{Lat: loc.Lat, Lon: loc.Lon, RadiusKm: 120}},
+		})
+	}
+	batch = append(batch,
+		scenario.Scenario{CutMostShared: 2},
+		scenario.Scenario{CutMostShared: 5},
+		scenario.Scenario{CutMostBetween: 3},
+		scenario.Scenario{RemoveISPs: isps[:1]},
+		scenario.Scenario{Additions: []scenario.Addition{{
+			A: m.Node(0).Key(), B: m.Node(fiber.NodeID(n - 1)).Key(),
+		}}},
+		scenario.Scenario{},
+	)
+	return batch
+}
+
+// BenchmarkScenarioEvaluate times one what-if evaluation per
+// iteration on a warmed engine, per path.
+func BenchmarkScenarioEvaluate(b *testing.B) {
+	sharedStudy()
+	sc := scenario.Scenario{CutMostShared: 5}
+	ctx := context.Background()
+	for _, mode := range scenarioModes() {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := scenario.New(benchRes, benchMx, scenario.Options{Seed: 42, CloneEval: mode.clone})
+			if _, err := eng.Evaluate(ctx, sc); err != nil { // warm: baseline memo, scratch pools
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Evaluate(ctx, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioSweep times the full disaster-grid batch through
+// Sweep at all CPUs, per path; scenarios/op normalizes the grid size.
+func BenchmarkScenarioSweep(b *testing.B) {
+	sharedStudy()
+	batch := scenarioSweepBatch()
+	ctx := context.Background()
+	for _, mode := range scenarioModes() {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := scenario.New(benchRes, benchMx, scenario.Options{Seed: 42, CloneEval: mode.clone})
+			warm := scenario.Sweep(ctx, eng, batch[:1], 1)
+			if warm[0].Err != "" {
+				b.Fatal(warm[0].Err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := scenario.Sweep(ctx, eng, batch, 0)
+				for j := range out {
+					if out[j].Err != "" {
+						b.Fatal(out[j].Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(batch)), "scenarios/op")
 		})
 	}
 }

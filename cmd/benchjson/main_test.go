@@ -104,6 +104,39 @@ func TestParseStreamSplitLines(t *testing.T) {
 	}
 }
 
+// TestParseStreamScenarioPairs covers the clone-vs-overlay scenario
+// benchmarks: each path is a sub-benchmark, the CPU suffix strips off
+// the sub-name, and BENCH_obs.json ends up holding both sides of each
+// pair so the overlay speedup ratio can be read straight from it.
+func TestParseStreamScenarioPairs(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"intertubes","Output":"BenchmarkScenarioEvaluate/clone-8   \t      30\t  37168390 ns/op\n"}`,
+		`{"Action":"output","Package":"intertubes","Output":"BenchmarkScenarioEvaluate/overlay-8 \t     900\t   1311498 ns/op\n"}`,
+		`{"Action":"output","Package":"intertubes","Output":"BenchmarkScenarioSweep/clone-8      \t       2\t 687559410 ns/op\t        16.00 scenarios/op\n"}`,
+		`{"Action":"output","Package":"intertubes","Output":"BenchmarkScenarioSweep/overlay-8    \t      66\t  17425461 ns/op\t        16.00 scenarios/op\n"}`,
+	}, "\n")
+	sum, err := parseStream(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsOf := map[string]float64{}
+	for _, b := range sum.Benchmarks {
+		nsOf[b.Name] = b.Metrics["ns/op"]
+	}
+	for _, pair := range []string{"BenchmarkScenarioEvaluate", "BenchmarkScenarioSweep"} {
+		clone, overlay := nsOf[pair+"/clone"], nsOf[pair+"/overlay"]
+		if clone == 0 || overlay == 0 {
+			t.Fatalf("%s pair incomplete: %+v", pair, nsOf)
+		}
+		if clone <= overlay {
+			t.Errorf("%s: clone %v ns/op not slower than overlay %v ns/op", pair, clone, overlay)
+		}
+	}
+	if v := nsOf["BenchmarkScenarioSweep/overlay"]; v != 17425461 {
+		t.Errorf("sweep overlay ns/op = %v", v)
+	}
+}
+
 func TestRunWritesFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	stream := `{"Action":"output","Package":"p","Output":"BenchmarkX-2 5 100 ns/op\n"}`

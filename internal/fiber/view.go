@@ -1,0 +1,59 @@
+package fiber
+
+// view.go defines the read-only view the analysis layers consume
+// instead of a concrete *Map. A View answers every tenancy and
+// topology question the risk/resilience pipelines ask, which lets the
+// scenario engine substitute a copy-on-write Overlay for the deep
+// clone it used to hand them: the same code path sees either the
+// baseline map itself or a perturbed view of it, without copying.
+
+// View is a read-only perspective on a fiber map. Implementations
+// must be safe for concurrent readers; returned slices may alias
+// internal state and must not be mutated.
+type View interface {
+	// NumNodes returns the number of nodes (views never add nodes).
+	NumNodes() int
+	// NumConduits returns the number of conduits, including any
+	// overlay-added builds (ids len(base.Conduits).. are virtual).
+	NumConduits() int
+	// ConduitEnds returns the conduit's endpoints.
+	ConduitEnds(cid ConduitID) (a, b NodeID)
+	// ConduitLengthKm returns the conduit's route length.
+	ConduitLengthKm(cid ConduitID) float64
+	// Tenants returns the conduit's effective published tenants,
+	// sorted. The slice is read-only and may alias internal state.
+	Tenants(cid ConduitID) []string
+	// HasTenant reports whether isp is an effective published tenant
+	// of the conduit.
+	HasTenant(cid ConduitID, isp string) bool
+	// NodesOf returns the distinct nodes touched by the conduits where
+	// isp is an effective tenant, ascending.
+	NodesOf(isp string) []NodeID
+	// Stats computes the Figure 1 summary over the effective tenancy.
+	Stats() Stats
+}
+
+// The baseline Map is itself a View.
+
+// NumNodes returns the number of nodes.
+func (m *Map) NumNodes() int { return len(m.Nodes) }
+
+// NumConduits returns the number of conduits.
+func (m *Map) NumConduits() int { return len(m.Conduits) }
+
+// ConduitEnds returns the conduit's endpoints.
+func (m *Map) ConduitEnds(cid ConduitID) (NodeID, NodeID) {
+	c := &m.Conduits[cid]
+	return c.A, c.B
+}
+
+// ConduitLengthKm returns the conduit's route length.
+func (m *Map) ConduitLengthKm(cid ConduitID) float64 { return m.Conduits[cid].LengthKm }
+
+// Tenants returns the conduit's published tenants, sorted. Read-only.
+func (m *Map) Tenants(cid ConduitID) []string { return m.Conduits[cid].Tenants }
+
+// HasTenant reports whether isp is a published tenant of the conduit.
+func (m *Map) HasTenant(cid ConduitID, isp string) bool { return m.Conduits[cid].HasTenant(isp) }
+
+var _ View = (*Map)(nil)

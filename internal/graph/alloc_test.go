@@ -82,3 +82,27 @@ func TestShortestPathWSOnlyPathAllocs(t *testing.T) {
 		t.Fatalf("ShortestPathWS allocates %.1f per run, want <= 2 (the Path slices)", avg)
 	}
 }
+
+// TestGlobalMinCutWSZeroAllocs pins the sparse Stoer-Wagner kernel to
+// the same steady-state contract as the distance queries: after the
+// first (growing) call, a min-cut query over a warmed workspace
+// allocates nothing.
+func TestGlobalMinCutWSZeroAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	g, ws, _ := allocFixture()
+	w := make([]float64, g.NumEdges())
+	for eid := range w {
+		w[eid] = g.Edge(eid).Weight
+	}
+	verts := make([]int, 0, 60)
+	for v := 0; v < 60; v++ {
+		verts = append(verts, v)
+	}
+	extra := []Edge{{U: 0, V: 59, Weight: 2}}
+	g.GlobalMinCutWS(ws, verts, w, extra) // warm: scratch growth
+	if avg := testing.AllocsPerRun(20, func() {
+		g.GlobalMinCutWS(ws, verts, w, extra)
+	}); avg != 0 {
+		t.Fatalf("GlobalMinCutWS allocates %.1f per run, want 0", avg)
+	}
+}

@@ -50,6 +50,10 @@ type Workspace struct {
 	delta []float64
 	order []int32
 	preds [][]halfEdge
+
+	// Stoer-Wagner (GlobalMinCutWS) scratch, grown lazily on first
+	// min-cut query.
+	mc *mincutScratch
 }
 
 // NewWorkspace returns an empty workspace; it grows to fit the first

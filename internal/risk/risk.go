@@ -31,6 +31,15 @@ func Build(m *fiber.Map, isps []string) *Matrix {
 	if isps == nil {
 		isps = m.ISPs()
 	}
+	return BuildFrom(m, isps)
+}
+
+// BuildFrom constructs the risk matrix over any fiber.View — the
+// baseline map itself or a scenario overlay — for the given ISPs.
+// Conduit iteration runs in ascending id order, so the matrix built
+// from an overlay is identical (columns, sharing counts, presence) to
+// one built from the equivalent materialized map.
+func BuildFrom(v fiber.View, isps []string) *Matrix {
 	mx := &Matrix{ISPs: isps, colOf: make(map[fiber.ConduitID]int)}
 	ispSet := make(map[string]int, len(isps))
 	for i, isp := range isps {
@@ -38,10 +47,10 @@ func Build(m *fiber.Map, isps []string) *Matrix {
 	}
 	// Columns: conduits occupied by at least one matrix ISP, in id
 	// order.
-	for i := range m.Conduits {
-		c := &m.Conduits[i]
+	nc := v.NumConduits()
+	for cid := fiber.ConduitID(0); int(cid) < nc; cid++ {
 		n := 0
-		for _, t := range c.Tenants {
+		for _, t := range v.Tenants(cid) {
 			if _, ok := ispSet[t]; ok {
 				n++
 			}
@@ -49,8 +58,8 @@ func Build(m *fiber.Map, isps []string) *Matrix {
 		if n == 0 {
 			continue
 		}
-		mx.colOf[c.ID] = len(mx.Conduits)
-		mx.Conduits = append(mx.Conduits, c.ID)
+		mx.colOf[cid] = len(mx.Conduits)
+		mx.Conduits = append(mx.Conduits, cid)
 		mx.sharing = append(mx.sharing, n)
 	}
 	mx.present = make([][]bool, len(isps))
@@ -58,7 +67,7 @@ func Build(m *fiber.Map, isps []string) *Matrix {
 		mx.present[i] = make([]bool, len(mx.Conduits))
 	}
 	for j, cid := range mx.Conduits {
-		for _, t := range m.Conduit(cid).Tenants {
+		for _, t := range v.Tenants(cid) {
 			if i, ok := ispSet[t]; ok {
 				mx.present[i][j] = true
 			}

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"intertubes/internal/fiber"
+)
+
+// alloc_test.go guards the overlay path's allocation story: applying
+// a weight mask to a warmed scratch row allocates nothing, and an
+// overlay evaluation never pays for a per-scenario map clone — its
+// allocation count sits far below the clone path's. The guards skip
+// under -short (perf gates, not correctness) and under the race
+// detector (instrumentation allocates), matching the graph package's
+// convention.
+
+func skipIfAllocsUnmeasurable(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("allocation guard skipped under the race detector")
+	}
+}
+
+func TestMaskWeightsZeroAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	res, mx := build(t)
+	eng := New(res, mx, Options{Seed: 42})
+	snap := eng.snapshot()
+	snap.baseline()
+
+	dst := make([]float64, snap.g.NumEdges())
+	baseRow := snap.ispW[0]
+	gains := []fiber.ConduitID{3, 7}
+	cuts := mx.TopShared(5)
+	if avg := testing.AllocsPerRun(100, func() {
+		maskWeights(dst, baseRow, gains, cuts)
+	}); avg != 0 {
+		t.Fatalf("maskWeights allocates %.1f per run, want 0", avg)
+	}
+}
+
+// TestOverlayEvaluateNoMapClone pins the tentpole claim: the overlay
+// path never deep-copies the map. A clone of the full atlas costs
+// thousands of allocations (conduit slices, tenant lists, indexes —
+// twice, for the plus and final maps); the overlay evaluation of the
+// same scenario must come in far below one clone, let alone two.
+func TestOverlayEvaluateNoMapClone(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	res, mx := build(t)
+	ovEng := New(res, mx, Options{Seed: 42})
+	clEng := New(res, mx, Options{Seed: 42, CloneEval: true})
+	ctx := context.Background()
+	sc := Scenario{CutMostShared: 5}
+
+	// Warm both engines (baseline memos, pooled scratch).
+	if _, err := ovEng.Evaluate(ctx, sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clEng.Evaluate(ctx, sc); err != nil {
+		t.Fatal(err)
+	}
+
+	ovAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := ovEng.Evaluate(ctx, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	clAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := clEng.Evaluate(ctx, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// One map clone alone allocates per conduit; the overlay path must
+	// be an order of magnitude below the two-clone reference.
+	if ovAllocs*10 > clAllocs {
+		t.Fatalf("overlay Evaluate allocates %.0f per run vs clone path %.0f — overlay path is paying for map copies",
+			ovAllocs, clAllocs)
+	}
+}

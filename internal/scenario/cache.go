@@ -3,14 +3,18 @@ package scenario
 import (
 	"container/list"
 	"context"
+	"strconv"
 	"sync"
 
 	"intertubes/internal/obs"
 )
 
 // cache.go is the serving layer around the engine: a bounded LRU
-// keyed by scenario content hash, with singleflight deduplication so
-// that N concurrent identical queries cost exactly one evaluation.
+// keyed by (baseline snapshot version, scenario content hash), with
+// singleflight deduplication so that N concurrent identical queries
+// cost exactly one evaluation. Folding the version into the key means
+// a SwapBaseline can never serve results computed against the old
+// baseline: stale entries become unreachable and age out of the LRU.
 // Every counter is an obs metric, so /metrics exposes hit rate,
 // evictions, and coalesced queries.
 
@@ -40,13 +44,18 @@ type Cache struct {
 
 	mu       sync.Mutex
 	ll       *list.List // front = most recently used; values are *entry
-	byHash   map[string]*list.Element
+	byKey    map[string]*list.Element
 	inflight map[string]*flight
 }
 
 type entry struct {
-	hash string
-	res  *Result
+	key string // version-prefixed cache key, not the bare scenario hash
+	res *Result
+}
+
+// cacheKey scopes a scenario hash to one baseline snapshot version.
+func cacheKey(version uint64, hash string) string {
+	return strconv.FormatUint(version, 10) + "|" + hash
 }
 
 // flight is one in-progress evaluation. It runs on its own goroutine
@@ -74,7 +83,7 @@ func NewCache(eng *Engine, capacity int) *Cache {
 		eng:      eng,
 		cap:      capacity,
 		ll:       list.New(),
-		byHash:   make(map[string]*list.Element),
+		byKey:    make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
 	}
 }
@@ -99,54 +108,58 @@ func (c *Cache) Eval(ctx context.Context, sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	hash := sc.Hash()
+	// Pin the snapshot now: the key's version and the evaluation the
+	// flight runs must refer to the same baseline even if SwapBaseline
+	// lands mid-query.
+	snap := c.eng.snapshot()
+	key := cacheKey(snap.version, sc.Hash())
 
 	c.mu.Lock()
-	if el, ok := c.byHash[hash]; ok {
+	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		cacheHits.Inc()
 		return el.Value.(*entry).res, nil
 	}
-	if fl, ok := c.inflight[hash]; ok {
+	if fl, ok := c.inflight[key]; ok {
 		fl.waiters++
 		c.mu.Unlock()
 		cacheCoalesced.Inc()
-		return c.wait(ctx, hash, fl)
+		return c.wait(ctx, key, fl)
 	}
 	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	fl := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
-	c.inflight[hash] = fl
+	c.inflight[key] = fl
 	c.mu.Unlock()
 
 	cacheMisses.Inc()
-	go c.run(fctx, hash, fl, sc)
-	return c.wait(ctx, hash, fl)
+	go c.run(fctx, key, fl, snap, sc)
+	return c.wait(ctx, key, fl)
 }
 
 // run executes one flight and publishes its outcome. A panicking
 // evaluation is captured here — the flight goroutine must not crash
 // the process — and re-raised in every waiter by wait.
-func (c *Cache) run(fctx context.Context, hash string, fl *flight, sc Scenario) {
+func (c *Cache) run(fctx context.Context, key string, fl *flight, snap *snapshot, sc Scenario) {
 	defer func() {
 		fl.panicV = recover()
 		fl.cancel()
 		c.mu.Lock()
 		// Pointer compare: an abandoned flight may already have been
-		// replaced by a newer one for the same hash.
-		if c.inflight[hash] == fl {
-			delete(c.inflight, hash)
+		// replaced by a newer one for the same key.
+		if c.inflight[key] == fl {
+			delete(c.inflight, key)
 		}
 		if fl.panicV == nil && fl.err == nil {
 			// Cache even if every waiter gave up first but the
 			// evaluation won the race and completed: the work is done
 			// and the next query should be a hit.
-			c.insert(hash, fl.res)
+			c.insert(key, fl.res)
 		}
 		c.mu.Unlock()
 		close(fl.done)
 	}()
-	fl.res, fl.err = c.eng.Evaluate(fctx, sc)
+	fl.res, fl.err = c.eng.evaluateOn(fctx, snap, sc)
 }
 
 // wait blocks one caller on a flight it holds a claim on. If the
@@ -155,7 +168,7 @@ func (c *Cache) run(fctx context.Context, hash string, fl *flight, sc Scenario) 
 // captured by run is re-raised here, in the waiter's own goroutine, so
 // the server's panic containment sees it exactly as if the evaluation
 // had run inline.
-func (c *Cache) wait(ctx context.Context, hash string, fl *flight) (*Result, error) {
+func (c *Cache) wait(ctx context.Context, key string, fl *flight) (*Result, error) {
 	select {
 	case <-fl.done:
 		if fl.panicV != nil {
@@ -167,8 +180,8 @@ func (c *Cache) wait(ctx context.Context, hash string, fl *flight) (*Result, err
 		fl.waiters--
 		if fl.waiters == 0 {
 			fl.cancel()
-			if c.inflight[hash] == fl {
-				delete(c.inflight, hash)
+			if c.inflight[key] == fl {
+				delete(c.inflight, key)
 			}
 		}
 		c.mu.Unlock()
@@ -178,17 +191,17 @@ func (c *Cache) wait(ctx context.Context, hash string, fl *flight) (*Result, err
 
 // insert adds a result and evicts from the LRU tail past capacity.
 // Caller holds c.mu.
-func (c *Cache) insert(hash string, res *Result) {
-	if el, ok := c.byHash[hash]; ok { // lost a benign race: refresh
+func (c *Cache) insert(key string, res *Result) {
+	if el, ok := c.byKey[key]; ok { // lost a benign race: refresh
 		c.ll.MoveToFront(el)
 		el.Value.(*entry).res = res
 		return
 	}
-	c.byHash[hash] = c.ll.PushFront(&entry{hash: hash, res: res})
+	c.byKey[key] = c.ll.PushFront(&entry{key: key, res: res})
 	for c.ll.Len() > c.cap {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)
-		delete(c.byHash, tail.Value.(*entry).hash)
+		delete(c.byKey, tail.Value.(*entry).key)
 		cacheEvictions.Inc()
 	}
 	cacheSize.Set(float64(c.ll.Len()))
@@ -222,7 +235,7 @@ func (c *Cache) Entries() []Summary {
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
 		out = append(out, Summary{
-			Hash:              e.hash,
+			Hash:              e.res.Hash,
 			Name:              e.res.Scenario.Name,
 			ConduitsCut:       e.res.ConduitsCut,
 			ISPsRemoved:       e.res.ISPsRemoved,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"intertubes/internal/fiber"
 	"intertubes/internal/geo"
@@ -21,6 +22,14 @@ import (
 // same scenario against the same baseline yields the same Result for
 // any worker count, which is what makes the hash a safe cache key and
 // Sweep's bit-identical contract hold.
+//
+// Two evaluation paths produce bit-identical Results. The default
+// copy-on-write overlay path (overlay_eval.go) records the scenario's
+// delta over the shared snapshot and recomputes only the stages the
+// delta touches. The clone path here deep-copies the map per scenario
+// and re-runs everything; it is the executable specification the
+// overlay path is differentially tested against, selectable with
+// Options.CloneEval.
 
 var evaluations = obs.GetCounter("scenario_evaluations_total",
 	"Scenario evaluations actually executed (cache hits and singleflight followers excluded).")
@@ -43,6 +52,11 @@ type Options struct {
 	// Workers bounds the worker pool used by the heavy sub-analyses.
 	// Results are bit-identical for any value.
 	Workers int
+	// CloneEval selects the reference clone-per-scenario evaluation
+	// path instead of the copy-on-write overlay path. Results are
+	// bit-identical either way; the clone path exists as the
+	// specification the overlay is differentially tested against.
+	CloneEval bool
 }
 
 func (o Options) withDefaults() Options {
@@ -58,25 +72,51 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Engine evaluates scenarios against one immutable baseline. It is
-// safe for concurrent use: the baseline is computed once, every
-// evaluation works on its own clone of the map.
+// Engine evaluates scenarios against one immutable baseline snapshot.
+// It is safe for concurrent use: the snapshot is read-only (its lazy
+// memos are internally synchronized), and SwapBaseline replaces it
+// atomically without disturbing in-flight evaluations.
 type Engine struct {
-	res  *mapbuilder.Result
-	mx   *risk.Matrix
 	opts Options
 
-	baseOnce sync.Once
-	base     baseline
-
-	latMu   sync.Mutex
-	latBase map[int]mitigate.LatencySummary // by MaxPairs
-
-	trafMu   sync.Mutex
-	trafBase map[int]TrafficSummary // by Probes
+	snap atomic.Pointer[snapshot]
 
 	hookMu   sync.Mutex
 	evalHook func(ctx context.Context)
+}
+
+// New builds an engine over a completed map build and its risk
+// matrix.
+func New(res *mapbuilder.Result, mx *risk.Matrix, opts Options) *Engine {
+	e := &Engine{opts: opts.withDefaults()}
+	e.snap.Store(newSnapshot(1, res, mx))
+	return e
+}
+
+// snapshot returns the current baseline snapshot. Callers that make
+// several reads against one baseline (an evaluation, a sweep) load it
+// once and pass it down, so a concurrent swap cannot tear them.
+func (e *Engine) snapshot() *snapshot { return e.snap.Load() }
+
+// Matrix returns the current baseline's risk matrix.
+func (e *Engine) Matrix() *risk.Matrix { return e.snapshot().mx }
+
+// BaselineVersion returns the current snapshot's version; it starts
+// at 1 and increments on every SwapBaseline.
+func (e *Engine) BaselineVersion() uint64 { return e.snapshot().version }
+
+// SwapBaseline atomically replaces the engine's baseline with a new
+// map build and matrix. In-flight evaluations finish against the
+// snapshot they started with; subsequent evaluations see the new one.
+// The version bump makes stale cached results unreachable.
+func (e *Engine) SwapBaseline(res *mapbuilder.Result, mx *risk.Matrix) {
+	for {
+		old := e.snap.Load()
+		next := newSnapshot(old.version+1, res, mx)
+		if e.snap.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // SetEvalHook installs fn to run at the start of every evaluation
@@ -97,94 +137,6 @@ func (e *Engine) runEvalHook(ctx context.Context) {
 	if fn != nil {
 		fn(ctx)
 	}
-}
-
-// baseline is everything Evaluate diffs against, computed once.
-type baseline struct {
-	stats   fiber.Stats
-	sharing []int
-	rankOf  map[string]int
-	meanOf  map[string]float64
-	disc    map[string]resilience.Impact
-	part    map[string]int
-}
-
-// New builds an engine over a completed map build and its risk
-// matrix.
-func New(res *mapbuilder.Result, mx *risk.Matrix, opts Options) *Engine {
-	return &Engine{
-		res:      res,
-		mx:       mx,
-		opts:     opts.withDefaults(),
-		latBase:  make(map[int]mitigate.LatencySummary),
-		trafBase: make(map[int]TrafficSummary),
-	}
-}
-
-func (e *Engine) baseline() *baseline {
-	e.baseOnce.Do(func() {
-		m := e.res.Map
-		b := &e.base
-		b.stats = m.Stats()
-		b.sharing = e.mx.SharingCounts()
-		b.rankOf = make(map[string]int)
-		b.meanOf = make(map[string]float64)
-		for pos, r := range e.mx.Ranking() {
-			b.rankOf[r.ISP] = pos + 1
-			b.meanOf[r.ISP] = r.Mean
-		}
-		b.disc = make(map[string]resilience.Impact)
-		for _, im := range resilience.CutImpact(m, e.mx, nil) {
-			b.disc[im.ISP] = im
-		}
-		b.part = make(map[string]int)
-		for _, pc := range resilience.PartitionCosts(m, e.mx.ISPs) {
-			b.part[pc.ISP] = pc.MinCuts
-		}
-	})
-	return &e.base
-}
-
-// baselineLatency memoizes the baseline latency summary per pair cap.
-// A canceled computation is not cached; the next caller recomputes.
-func (e *Engine) baselineLatency(ctx context.Context, maxPairs int) (mitigate.LatencySummary, error) {
-	e.latMu.Lock()
-	if s, ok := e.latBase[maxPairs]; ok {
-		e.latMu.Unlock()
-		return s, nil
-	}
-	e.latMu.Unlock()
-	study, err := mitigate.LatencyStudyCtx(ctx, e.res.Map, e.res.Atlas, mitigate.LatencyOptions{
-		MaxPairs: maxPairs,
-		Workers:  e.opts.Workers,
-	})
-	if err != nil {
-		return mitigate.LatencySummary{}, err
-	}
-	s := mitigate.Summarize(study)
-	e.latMu.Lock()
-	e.latBase[maxPairs] = s
-	e.latMu.Unlock()
-	return s, nil
-}
-
-// baselineTraffic memoizes the baseline traffic overlay per campaign
-// size. A canceled campaign is not cached; the next caller recomputes.
-func (e *Engine) baselineTraffic(ctx context.Context, probes int) (TrafficSummary, error) {
-	e.trafMu.Lock()
-	if s, ok := e.trafBase[probes]; ok {
-		e.trafMu.Unlock()
-		return s, nil
-	}
-	e.trafMu.Unlock()
-	s, err := e.trafficOn(ctx, e.res, probes)
-	if err != nil {
-		return TrafficSummary{}, err
-	}
-	e.trafMu.Lock()
-	e.trafBase[probes] = s
-	e.trafMu.Unlock()
-	return s, nil
 }
 
 func (e *Engine) trafficOn(ctx context.Context, res *mapbuilder.Result, probes int) (TrafficSummary, error) {
@@ -326,16 +278,25 @@ func (r *Result) MeanDisconnectionAfter() float64 {
 
 // ---- Evaluation ----
 
-// Evaluate resolves, canonicalizes, and evaluates the scenario. It is
-// deterministic: equal scenarios produce equal Results, bit for bit,
-// at any Workers setting.
+// Evaluate resolves, canonicalizes, and evaluates the scenario
+// against the current baseline snapshot. It is deterministic: equal
+// scenarios produce equal Results, bit for bit, at any Workers
+// setting and on either evaluation path.
 //
 // Cancellation is cooperative: ctx is checked between stages and, via
 // the ctx-aware par pool, at every chunk grant inside the heavy scans.
 // A canceled evaluation returns ctx.Err() (and counts toward
 // scenario_evaluations_canceled_total); it never returns a partial
 // Result, so determinism of completed evaluations is unaffected.
-func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err error) {
+func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (*Result, error) {
+	return e.evaluateOn(ctx, e.snapshot(), sc)
+}
+
+// evaluateOn is the shared evaluation entry: every caller that has
+// pinned a snapshot (Evaluate, the cache's flights, Sweep) funnels
+// through here, so one baseline swap cannot split an evaluation
+// across two baselines.
+func (e *Engine) evaluateOn(ctx context.Context, snap *snapshot, sc Scenario) (_ *Result, err error) {
 	sc, err = Resolve(sc)
 	if err != nil {
 		return nil, err
@@ -350,6 +311,22 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err erro
 	defer sp.End()
 	e.runEvalHook(ctx)
 
+	var res *Result
+	if e.opts.CloneEval {
+		res, err = e.evaluateClone(ctx, snap, sc)
+	} else {
+		res, err = e.evaluateOverlay(ctx, snap, sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sp.SetItems(int64(len(res.Cut) + res.LinksRemoved + res.ConduitsAdded))
+	return res, nil
+}
+
+// evaluateClone is the reference path: clone the map, mutate, re-run
+// every analysis.
+func (e *Engine) evaluateClone(ctx context.Context, snap *snapshot, sc Scenario) (*Result, error) {
 	// checkpoint guards stage boundaries: the cheap stages below run a
 	// few hundred microseconds each, so between-stage checks plus the
 	// in-scan chunk-grant checks bound cancellation latency without a
@@ -359,10 +336,10 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err erro
 		return nil, err
 	}
 
-	m := e.res.Map
-	base := e.baseline()
+	m := snap.res.Map
+	base := snap.baseline()
 
-	cuts, err := e.ResolveCuts(sc)
+	cuts, err := resolveCutsOn(snap, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -385,16 +362,7 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err erro
 	for _, isp := range sc.RemoveISPs {
 		res.LinksRemoved += pmPlus.RemoveISP(isp)
 	}
-	kept := make([]string, 0, len(e.mx.ISPs))
-	removed := make(map[string]bool, len(sc.RemoveISPs))
-	for _, isp := range sc.RemoveISPs {
-		removed[isp] = true
-	}
-	for _, isp := range e.mx.ISPs {
-		if !removed[isp] {
-			kept = append(kept, isp)
-		}
-	}
+	kept := keptISPs(snap, sc)
 	for _, ad := range sc.Additions {
 		if err := applyAddition(pmPlus, ad, kept); err != nil {
 			return nil, err
@@ -414,8 +382,54 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err erro
 
 	mx2 := risk.Build(pm, kept)
 
-	// Stats and sharing distribution.
 	res.Stats = StatsDelta{Before: base.stats, After: pm.Stats()}
+	fillSharing(res, base, mx2)
+	fillRanking(res, base, mx2)
+
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
+	// Per-ISP disconnection: pmPlus keeps full footprints, the cut set
+	// is excluded by weight inside CutImpact.
+	fillDisconnection(res, base, resilience.CutImpact(pmPlus, mx2, cuts))
+
+	// Partition cost on the fully perturbed map, most fragile first.
+	for _, pc := range resilience.PartitionCosts(pm, kept) {
+		res.Partition = append(res.Partition, PartitionShift{
+			ISP:    pc.ISP,
+			Before: base.part[pc.ISP],
+			After:  pc.MinCuts,
+		})
+	}
+
+	if err := e.latencyStage(ctx, snap, sc, pm, res); err != nil {
+		return nil, err
+	}
+	if err := e.trafficStage(ctx, snap, sc, pm, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// keptISPs returns the matrix providers that survive the scenario's
+// removal clause, in matrix order.
+func keptISPs(snap *snapshot, sc Scenario) []string {
+	kept := make([]string, 0, len(snap.mx.ISPs))
+	removed := make(map[string]bool, len(sc.RemoveISPs))
+	for _, isp := range sc.RemoveISPs {
+		removed[isp] = true
+	}
+	for _, isp := range snap.mx.ISPs {
+		if !removed[isp] {
+			kept = append(kept, isp)
+		}
+	}
+	return kept
+}
+
+// fillSharing writes the Figure 6 distribution shift.
+func fillSharing(res *Result, base *baseline, mx2 *risk.Matrix) {
 	after := mx2.SharingCounts()
 	n := len(base.sharing)
 	if len(after) > n {
@@ -431,8 +445,10 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err erro
 		}
 		res.Sharing = append(res.Sharing, s)
 	}
+}
 
-	// Ranking shifts, in after-ranking order.
+// fillRanking writes the Figure 7 movements, in after-ranking order.
+func fillRanking(res *Result, base *baseline, mx2 *risk.Matrix) {
 	for pos, r := range mx2.Ranking() {
 		res.Ranking = append(res.Ranking, RankShift{
 			ISP:        r.ISP,
@@ -442,14 +458,11 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err erro
 			RankAfter:  pos + 1,
 		})
 	}
+}
 
-	if err := checkpoint(); err != nil {
-		return nil, err
-	}
-
-	// Per-ISP disconnection: pmPlus keeps full footprints, the cut set
-	// is excluded by weight inside CutImpact.
-	impacts := resilience.CutImpact(pmPlus, mx2, cuts)
+// fillDisconnection writes the per-ISP connectivity damage table from
+// an impact list already in CutImpact's order.
+func fillDisconnection(res *Result, base *baseline, impacts []resilience.Impact) {
 	for _, im := range impacts {
 		res.Disconnection = append(res.Disconnection, Disconnection{
 			ISP:              im.ISP,
@@ -459,75 +472,79 @@ func (e *Engine) Evaluate(ctx context.Context, sc Scenario) (_ *Result, err erro
 			LargestComponent: im.LargestComponent,
 		})
 	}
+}
 
-	// Partition cost on the fully perturbed map, most fragile first.
-	for _, pc := range resilience.PartitionCosts(pm, kept) {
-		res.Partition = append(res.Partition, PartitionShift{
-			ISP:    pc.ISP,
-			Before: base.part[pc.ISP],
-			After:  pc.MinCuts,
-		})
+// latencyStage runs the §5.3 latency comparison when the scenario
+// asks for it. pm is the fully perturbed map.
+func (e *Engine) latencyStage(ctx context.Context, snap *snapshot, sc Scenario, pm *fiber.Map, res *Result) error {
+	if !sc.IncludeLatency {
+		return nil
 	}
-
-	if sc.IncludeLatency {
-		if err := checkpoint(); err != nil {
-			return nil, err
-		}
-		maxPairs := e.opts.LatencyMaxPairs
-		if sc.Overrides.LatencyMaxPairs > 0 {
-			maxPairs = sc.Overrides.LatencyMaxPairs
-		}
-		afterStudy, err := mitigate.LatencyStudyCtx(ctx, pm, e.res.Atlas, mitigate.LatencyOptions{
-			MaxPairs: maxPairs,
-			Workers:  e.opts.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		before, err := e.baselineLatency(ctx, maxPairs)
-		if err != nil {
-			return nil, err
-		}
-		res.Latency = &LatencyDelta{
-			MaxPairs: maxPairs,
-			Before:   before,
-			After:    mitigate.Summarize(afterStudy),
-		}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-
-	if sc.IncludeTraffic {
-		if err := checkpoint(); err != nil {
-			return nil, err
-		}
-		probes := e.opts.Probes
-		if sc.Overrides.Probes > 0 {
-			probes = sc.Overrides.Probes
-		}
-		res2 := *e.res
-		res2.Map = pm
-		before, err := e.baselineTraffic(ctx, probes)
-		if err != nil {
-			return nil, err
-		}
-		after, err := e.trafficOn(ctx, &res2, probes)
-		if err != nil {
-			return nil, err
-		}
-		res.Traffic = &TrafficDelta{
-			Probes: probes,
-			Before: before,
-			After:  after,
-		}
+	maxPairs := e.opts.LatencyMaxPairs
+	if sc.Overrides.LatencyMaxPairs > 0 {
+		maxPairs = sc.Overrides.LatencyMaxPairs
 	}
+	afterStudy, err := mitigate.LatencyStudyCtx(ctx, pm, snap.res.Atlas, mitigate.LatencyOptions{
+		MaxPairs: maxPairs,
+		Workers:  e.opts.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	before, err := e.baselineLatency(ctx, snap, maxPairs)
+	if err != nil {
+		return err
+	}
+	res.Latency = &LatencyDelta{
+		MaxPairs: maxPairs,
+		Before:   before,
+		After:    mitigate.Summarize(afterStudy),
+	}
+	return nil
+}
 
-	sp.SetItems(int64(len(cuts) + res.LinksRemoved + res.ConduitsAdded))
-	return res, nil
+// trafficStage runs the traffic-overlay comparison when the scenario
+// asks for it. pm is the fully perturbed map.
+func (e *Engine) trafficStage(ctx context.Context, snap *snapshot, sc Scenario, pm *fiber.Map, res *Result) error {
+	if !sc.IncludeTraffic {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	probes := e.opts.Probes
+	if sc.Overrides.Probes > 0 {
+		probes = sc.Overrides.Probes
+	}
+	res2 := *snap.res
+	res2.Map = pm
+	before, err := e.baselineTraffic(ctx, snap, probes)
+	if err != nil {
+		return err
+	}
+	after, err := e.trafficOn(ctx, &res2, probes)
+	if err != nil {
+		return err
+	}
+	res.Traffic = &TrafficDelta{
+		Probes: probes,
+		Before: before,
+		After:  after,
+	}
+	return nil
 }
 
 // ResolveCuts materializes the scenario's cut clauses against the
-// baseline map into one sorted, de-duplicated conduit set.
+// current baseline map into one sorted, de-duplicated conduit set.
 func (e *Engine) ResolveCuts(sc Scenario) ([]fiber.ConduitID, error) {
-	m := e.res.Map
+	return resolveCutsOn(e.snapshot(), sc)
+}
+
+func resolveCutsOn(snap *snapshot, sc Scenario) ([]fiber.ConduitID, error) {
+	m := snap.res.Map
 	var cuts []fiber.ConduitID
 	for _, cid := range sc.CutConduits {
 		if int(cid) >= len(m.Conduits) {
@@ -536,10 +553,15 @@ func (e *Engine) ResolveCuts(sc Scenario) ([]fiber.ConduitID, error) {
 		cuts = append(cuts, cid)
 	}
 	if sc.CutMostShared > 0 {
-		cuts = append(cuts, e.mx.TopShared(sc.CutMostShared)...)
+		cuts = append(cuts, snap.mx.TopShared(sc.CutMostShared)...)
 	}
 	if sc.CutMostBetween > 0 {
-		cuts = append(cuts, resilience.TargetedByBetweenness(m, sc.CutMostBetween)...)
+		rank := snap.betweennessRank()
+		k := sc.CutMostBetween
+		if k > len(rank) {
+			k = len(rank)
+		}
+		cuts = append(cuts, rank[:k]...)
 	}
 	for _, r := range sc.Regions {
 		cuts = append(cuts, resilience.ConduitsInRegion(m, resilience.Region{

@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"intertubes/internal/fiber"
+	"intertubes/internal/graph"
+	"intertubes/internal/resilience"
+	"intertubes/internal/risk"
+)
+
+// overlay_eval.go is the copy-on-write evaluation path. Instead of
+// deep-cloning the map per scenario, it records the perturbation as a
+// fiber.Overlay over the shared snapshot and recomputes only what the
+// delta touches:
+//
+//   - stats, sharing, and ranking read straight through the overlay
+//     views (no map copy);
+//   - disconnection and partition cost are recomputed only for the
+//     providers the delta can affect — a provider is "touched" when a
+//     cut conduit carries its (surviving) tenancy or an addition
+//     lights it; every other provider reuses its baseline row, which
+//     is exactly what the clone path would recompute for it;
+//   - touched partition costs run through the sparse Stoer-Wagner
+//     kernel with the snapshot's per-provider unit weight table,
+//     masked in place in a pooled scratch buffer (additions lower
+//     masks to 1, cuts raise them to +Inf, overlay-new conduits ride
+//     as extra edges);
+//   - the heavyweight optional stages (latency, traffic) materialize
+//     a concrete map only when the scenario requests them.
+//
+// The output contract is strict: bit-identical Results to the clone
+// path (Options.CloneEval), enforced by the differential suite in
+// overlay_equiv_test.go.
+
+// touchedCut/touchedAdd classify why a provider needs recomputation.
+const (
+	touchedCut = 1 << iota
+	touchedAdd
+)
+
+// evalScratch is the reusable per-evaluation workspace: the graph
+// kernel scratch, the union-find scratch, and the masked weight /
+// vertex / extra-edge buffers. Pooled so concurrent sweeps reuse a
+// few of them instead of reallocating per scenario.
+type evalScratch struct {
+	ws    *graph.Workspace
+	imp   resilience.ImpactScratch
+	w     []float64
+	verts []int
+	extra []graph.Edge
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &evalScratch{ws: graph.NewWorkspace()} },
+}
+
+func getScratch(nEdges int) *evalScratch {
+	s := scratchPool.Get().(*evalScratch)
+	if len(s.w) < nEdges {
+		s.w = make([]float64, nEdges)
+	}
+	return s
+}
+
+func putScratch(s *evalScratch) { scratchPool.Put(s) }
+
+// maskWeights fills dst with the provider's unit weight row under the
+// perturbation: merged-addition tenancy gains first, then cuts to
+// +Inf — the same order the mutation path applies them, so a cut
+// merged-addition conduit stays dark. Allocation-free.
+func maskWeights(dst, baseRow []float64, gains []fiber.ConduitID, cuts []fiber.ConduitID) {
+	copy(dst, baseRow)
+	for _, cid := range gains {
+		dst[cid] = 1
+	}
+	inf := math.Inf(1)
+	for _, cid := range cuts {
+		dst[cid] = inf
+	}
+}
+
+func (e *Engine) evaluateOverlay(ctx context.Context, snap *snapshot, sc Scenario) (*Result, error) {
+	checkpoint := func() error { return ctx.Err() }
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
+	m := snap.res.Map
+	base := snap.baseline()
+
+	cuts, err := resolveCutsOn(snap, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Hash:        sc.Hash(),
+		Scenario:    sc,
+		Cut:         cuts,
+		ConduitsCut: len(cuts),
+		ISPsRemoved: sc.RemoveISPs,
+	}
+	for _, cid := range cuts {
+		res.TenanciesCut += len(m.Conduit(cid).Tenants)
+	}
+
+	kept := keptISPs(snap, sc)
+	removed := make(map[string]bool, len(sc.RemoveISPs))
+	for _, isp := range sc.RemoveISPs {
+		removed[isp] = true
+	}
+
+	// Resolve additions to node ids; an empty tenant list means open
+	// access — every kept provider lights the build.
+	pert := fiber.Perturbation{Cuts: cuts, RemoveISPs: sc.RemoveISPs}
+	for _, ad := range sc.Additions {
+		a, ok := m.NodeByKey(ad.A)
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown node %q in addition", ad.A)
+		}
+		b, ok := m.NodeByKey(ad.B)
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown node %q in addition", ad.B)
+		}
+		tenants := ad.Tenants
+		if len(tenants) == 0 {
+			tenants = kept
+		}
+		pert.Additions = append(pert.Additions, fiber.OverlayAddition{A: a, B: b, Tenants: tenants})
+	}
+	ov, err := fiber.NewOverlay(m, pert)
+	if err != nil {
+		return nil, err
+	}
+	res.LinksRemoved = ov.LinksRemoved()
+	res.ConduitsAdded = len(pert.Additions)
+
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
+	plus, final := ov.Plus(), ov.Final()
+	mx2 := risk.BuildFrom(final, kept)
+
+	res.Stats = StatsDelta{Before: base.stats, After: final.Stats()}
+	fillSharing(res, base, mx2)
+	fillRanking(res, base, mx2)
+
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
+	// Touched set: a surviving provider's connectivity or partition
+	// answer can only change if a cut conduit carries its tenancy or an
+	// addition lights it. Everything else reuses its baseline row —
+	// the clone path would recompute the identical value.
+	touched := make(map[string]uint8)
+	for _, cid := range cuts {
+		for _, isp := range m.Tenants(cid) {
+			if !removed[isp] {
+				touched[isp] |= touchedCut
+			}
+		}
+	}
+	for _, ad := range pert.Additions {
+		for _, isp := range ad.Tenants {
+			if !removed[isp] {
+				touched[isp] |= touchedAdd
+			}
+		}
+	}
+
+	scr := getScratch(snap.g.NumEdges())
+	defer putScratch(scr)
+	cutMask := ov.CutMask()
+
+	// Per-ISP disconnection on the plus view (cuts excluded by weight,
+	// footprints intact), in matrix order then stable-sorted by damage
+	// — CutImpact's exact ordering.
+	impacts := make([]resilience.Impact, 0, len(mx2.ISPs))
+	for _, isp := range mx2.ISPs {
+		bits := touched[isp]
+		if bits == 0 {
+			impacts = append(impacts, base.disc[isp])
+			continue
+		}
+		nodes := snap.ispNodes[snap.ispIdx[isp]]
+		if bits&touchedAdd != 0 {
+			nodes = plus.NodesOf(isp)
+		}
+		impacts = append(impacts, scr.imp.ImpactOn(plus, isp, nodes, cuts, cutMask))
+	}
+	sort.SliceStable(impacts, func(i, j int) bool {
+		return impacts[i].DisconnectedPairs > impacts[j].DisconnectedPairs
+	})
+	fillDisconnection(res, base, impacts)
+
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
+	// Partition cost on the final view. Touched providers run the
+	// sparse Stoer-Wagner kernel over the masked snapshot weight row;
+	// the rest reuse the baseline cost.
+	type pcost struct {
+		isp string
+		min int
+	}
+	pcs := make([]pcost, 0, len(kept))
+	nb := ov.NumBaseConduits()
+	nc := final.NumConduits()
+	for _, isp := range kept {
+		bits := touched[isp]
+		if bits == 0 {
+			pcs = append(pcs, pcost{isp: isp, min: base.part[isp]})
+			continue
+		}
+		// Tenancy gains this provider received on merged (base-conduit)
+		// additions; overlay-new conduits become extra edges instead.
+		scr.verts = scr.verts[:0]
+		scr.extra = scr.extra[:0]
+		gains := gainsFor(pert.Additions, ov.AdditionTargets(), nb, isp)
+		maskWeights(scr.w, snap.ispW[snap.ispIdx[isp]], gains, cuts)
+		for cid := fiber.ConduitID(nb); int(cid) < nc; cid++ {
+			if final.HasTenant(cid, isp) {
+				a, b := final.ConduitEnds(cid)
+				scr.extra = append(scr.extra, graph.Edge{U: int(a), V: int(b), Weight: 1})
+			}
+		}
+		for _, n := range final.NodesOf(isp) {
+			scr.verts = append(scr.verts, int(n))
+		}
+		min := resilience.PartitionCostWS(snap.g, scr.ws, scr.verts, scr.w, scr.extra)
+		pcs = append(pcs, pcost{isp: isp, min: min})
+	}
+	sort.SliceStable(pcs, func(i, j int) bool { return pcs[i].min < pcs[j].min })
+	for _, pc := range pcs {
+		res.Partition = append(res.Partition, PartitionShift{
+			ISP:    pc.isp,
+			Before: base.part[pc.isp],
+			After:  pc.min,
+		})
+	}
+
+	// The optional heavyweight stages consume a concrete *Map; build
+	// it once, only when asked.
+	if sc.IncludeLatency || sc.IncludeTraffic {
+		pm := ov.Materialize()
+		if err := e.latencyStage(ctx, snap, sc, pm, res); err != nil {
+			return nil, err
+		}
+		if err := e.trafficStage(ctx, snap, sc, pm, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// gainsFor collects the merged-addition base conduits where the
+// provider gains tenancy. Small inputs; allocates only when the
+// provider actually gained something.
+func gainsFor(adds []fiber.OverlayAddition, targets []fiber.ConduitID, numBase int, isp string) []fiber.ConduitID {
+	var gains []fiber.ConduitID
+	for i, ad := range adds {
+		if int(targets[i]) >= numBase {
+			continue
+		}
+		for _, t := range ad.Tenants {
+			if t == isp {
+				gains = append(gains, targets[i])
+				break
+			}
+		}
+	}
+	return gains
+}

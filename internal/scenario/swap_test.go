@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"intertubes/internal/mapbuilder"
+	"intertubes/internal/risk"
+)
+
+// swap_test.go pins the snapshot-versioned cache keys: after a
+// SwapBaseline, a cached result computed against the old baseline
+// must never be served for the new one, and vice versa when entries
+// for both versions coexist.
+
+func TestCacheSwapBaselineNoStaleResults(t *testing.T) {
+	res, mx := build(t)
+	eng := New(res, mx, Options{Seed: 42})
+	c := NewCache(eng, 8)
+	ctx := context.Background()
+	sc := Scenario{} // zero scenario: Result.Stats mirrors the baseline
+
+	if v := eng.BaselineVersion(); v != 1 {
+		t.Fatalf("initial version = %d, want 1", v)
+	}
+	r1, err := c.Eval(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A distinct baseline: same atlas, one provider gone.
+	m2 := res.Map.Clone()
+	m2.RemoveISP(mx.ISPs[0])
+	res2 := *res
+	res2.Map = m2
+	mx2 := risk.Build(m2, nil)
+	eng.SwapBaseline(&res2, mx2)
+	if v := eng.BaselineVersion(); v != 2 {
+		t.Fatalf("version after swap = %d, want 2", v)
+	}
+
+	before := evaluations.Value()
+	r2, err := c.Eval(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evaluations.Value() - before; got != 1 {
+		t.Fatalf("evaluations after swap = %d, want 1 (stale cache entry served)", got)
+	}
+	if r2 == r1 {
+		t.Fatal("swap served the old baseline's cached *Result")
+	}
+	if r2.Stats.Before == r1.Stats.Before {
+		t.Error("post-swap result still diffs against the old baseline stats")
+	}
+	if r2.Stats.Before.ISPs != r1.Stats.Before.ISPs-1 {
+		t.Errorf("post-swap baseline ISPs = %d, want %d",
+			r2.Stats.Before.ISPs, r1.Stats.Before.ISPs-1)
+	}
+
+	// Both versions' entries coexist under distinct keys; hitting the
+	// new baseline again is a pure cache hit.
+	if c.Len() != 2 {
+		t.Errorf("cache Len = %d, want 2 (one entry per version)", c.Len())
+	}
+	before = evaluations.Value()
+	r3, err := c.Eval(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != r2 || evaluations.Value() != before {
+		t.Error("repeat query against the swapped baseline should hit the cache")
+	}
+
+	// Listings expose the scenario content hash, not the internal
+	// version-prefixed key.
+	for _, s := range c.Entries() {
+		if s.Hash != sc.Hash() {
+			t.Errorf("Summary.Hash = %q, want scenario hash %q", s.Hash, sc.Hash())
+		}
+	}
+}
+
+func TestSwapBaselineMidSweepPinsSnapshot(t *testing.T) {
+	res, mx := build(t)
+	eng := New(res, mx, Options{Seed: 42})
+
+	// The sweep pins its snapshot before any evaluation; a swap while
+	// it runs must not mix baselines. Force the swap from the eval
+	// hook, which runs inside the first evaluation.
+	m2 := res.Map.Clone()
+	m2.RemoveISP(mx.ISPs[0])
+	res2 := *res
+	res2.Map = m2
+	swapped := false
+	eng.SetEvalHook(func(context.Context) {
+		if !swapped {
+			swapped = true
+			eng.SwapBaseline(&res2, risk.Build(m2, nil))
+		}
+	})
+	defer eng.SetEvalHook(nil)
+
+	scs := []Scenario{{}, {}, {CutMostShared: 1}}
+	out := Sweep(context.Background(), eng, scs, 1)
+	for i, o := range out {
+		if o.Err != "" {
+			t.Fatalf("slot %d failed: %s", i, o.Err)
+		}
+		if o.Result.Stats.Before.ISPs != out[0].Result.Stats.Before.ISPs {
+			t.Errorf("slot %d diffed against a different baseline than slot 0", i)
+		}
+	}
+	// All slots used the pre-swap baseline.
+	want := mapbuilderStatsISPs(res)
+	if got := out[0].Result.Stats.Before.ISPs; got != want {
+		t.Errorf("sweep baseline ISPs = %d, want pre-swap %d", got, want)
+	}
+}
+
+func mapbuilderStatsISPs(res *mapbuilder.Result) int {
+	return res.Map.Stats().ISPs
+}

@@ -32,11 +32,14 @@ func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outc
 	sp.SetWorkers(par.Workers(workers))
 	sp.SetItems(int64(len(scs)))
 	defer sp.End()
-	// The baseline is shared state guarded by sync.Once; forcing it
-	// here keeps each parallel evaluation read-only.
-	eng.baseline()
+	// Pin one snapshot for the whole batch: every slot evaluates
+	// against the same baseline even if SwapBaseline lands mid-sweep.
+	// Forcing its baseline here keeps each parallel evaluation
+	// read-only (the memo is guarded by sync.Once).
+	snap := eng.snapshot()
+	snap.baseline()
 	out, err := par.MapCtx(ctx, len(scs), workers, func(i int) Outcome {
-		res, err := eng.Evaluate(ctx, scs[i])
+		res, err := eng.evaluateOn(ctx, snap, scs[i])
 		if err != nil {
 			return Outcome{Err: err.Error()}
 		}
