@@ -23,6 +23,7 @@ import (
 	"intertubes/internal/graph"
 	"intertubes/internal/mapbuilder"
 	"intertubes/internal/mitigate"
+	"intertubes/internal/obs"
 	"intertubes/internal/records"
 	"intertubes/internal/risk"
 	"intertubes/internal/scenario"
@@ -674,6 +675,44 @@ func BenchmarkScenarioEvaluate(b *testing.B) {
 				if _, err := eng.Evaluate(ctx, sc); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkTracingOverhead pins the flight recorder's evaluation-path
+// cost: the same warmed overlay evaluation with the recorder off
+// (plain Evaluate, nothing records) and on (every iteration records a
+// full span tree into the store, attrs, exemplars and all). cmd/
+// benchjson derives the on/off ns-per-op ratio into BENCH_obs.json;
+// the acceptance bar is ratio <= 1.05.
+func BenchmarkTracingOverhead(b *testing.B) {
+	sharedStudy()
+	sc := scenario.Scenario{CutMostShared: 5}
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name   string
+		record bool
+	}{
+		{"recorder=off", false},
+		{"recorder=on", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := scenario.New(benchRes, benchMx, scenario.Options{Seed: 42})
+			if _, err := eng.Evaluate(ctx, sc); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ectx := ctx
+				var sp *obs.Span
+				if mode.record {
+					ectx, sp = obs.StartTrace(ctx, "bench.evaluate")
+				}
+				if _, err := eng.Evaluate(ectx, sc); err != nil {
+					b.Fatal(err)
+				}
+				sp.End()
 			}
 		})
 	}

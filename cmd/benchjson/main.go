@@ -58,6 +58,7 @@ func run(args []string, in io.Reader, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
+	deriveOverheadRatios(sum)
 	raw, err := json.MarshalIndent(sum, "", " ")
 	if err != nil {
 		return err
@@ -117,6 +118,38 @@ func parseStream(in io.Reader) (*Summary, error) {
 		}
 	}
 	return sum, sc.Err()
+}
+
+// deriveOverheadRatios appends a synthetic result for every
+// ".../recorder=on" benchmark with a same-package ".../recorder=off"
+// sibling: "<base>/recorder-overhead" carrying the on/off ns-per-op
+// ratio. The tracing acceptance bar (enabled recorder <= 1.05x) reads
+// straight off this record in BENCH_obs.json.
+func deriveOverheadRatios(sum *Summary) {
+	const onSuffix, offSuffix = "/recorder=on", "/recorder=off"
+	off := make(map[string]float64)
+	for _, r := range sum.Benchmarks {
+		if strings.HasSuffix(r.Name, offSuffix) {
+			off[r.Package+" "+strings.TrimSuffix(r.Name, offSuffix)] = r.Metrics["ns/op"]
+		}
+	}
+	for _, r := range sum.Benchmarks {
+		if !strings.HasSuffix(r.Name, onSuffix) {
+			continue
+		}
+		base := strings.TrimSuffix(r.Name, onSuffix)
+		offNs := off[r.Package+" "+base]
+		onNs := r.Metrics["ns/op"]
+		if offNs <= 0 || onNs <= 0 {
+			continue
+		}
+		sum.Benchmarks = append(sum.Benchmarks, Result{
+			Package: r.Package,
+			Name:    base + "/recorder-overhead",
+			N:       r.N,
+			Metrics: map[string]float64{"ratio": onNs / offNs},
+		})
+	}
 }
 
 // parseBenchLine parses one benchmark result line of the form

@@ -137,6 +137,58 @@ func TestParseStreamScenarioPairs(t *testing.T) {
 	}
 }
 
+// TestDeriveOverheadRatios pins the synthetic recorder-overhead record:
+// a recorder=on/off pair in the same package yields a
+// "<base>/recorder-overhead" result carrying the on/off ns-per-op
+// ratio, and unpaired or cross-package results derive nothing.
+func TestDeriveOverheadRatios(t *testing.T) {
+	sum := &Summary{Benchmarks: []Result{
+		{Package: "intertubes", Name: "BenchmarkTracingOverhead/recorder=off", N: 800, Metrics: map[string]float64{"ns/op": 1400000}},
+		{Package: "intertubes", Name: "BenchmarkTracingOverhead/recorder=on", N: 780, Metrics: map[string]float64{"ns/op": 1442000}},
+		{Package: "other", Name: "BenchmarkLonely/recorder=on", N: 10, Metrics: map[string]float64{"ns/op": 50}},
+	}}
+	deriveOverheadRatios(sum)
+	if len(sum.Benchmarks) != 4 {
+		t.Fatalf("benchmarks = %d, want 4 (one derived): %+v", len(sum.Benchmarks), sum.Benchmarks)
+	}
+	d := sum.Benchmarks[3]
+	if d.Package != "intertubes" || d.Name != "BenchmarkTracingOverhead/recorder-overhead" {
+		t.Errorf("derived = %+v", d)
+	}
+	ratio := d.Metrics["ratio"]
+	if ratio < 1.029 || ratio > 1.031 {
+		t.Errorf("ratio = %v, want 1442000/1400000 = 1.03", ratio)
+	}
+}
+
+// TestDeriveOverheadRatiosEndToEnd checks the derivation rides the
+// full parse pipeline, including CPU-suffix stripping on the
+// sub-benchmark names.
+func TestDeriveOverheadRatiosEndToEnd(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"output","Package":"intertubes","Output":"BenchmarkTracingOverhead/recorder=off-8 \t     847\t   1411775 ns/op\n"}`,
+		`{"Action":"output","Package":"intertubes","Output":"BenchmarkTracingOverhead/recorder=on-8  \t     860\t   1382905 ns/op\n"}`,
+	}, "\n")
+	sum, err := parseStream(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deriveOverheadRatios(sum)
+	var got *Result
+	for i := range sum.Benchmarks {
+		if sum.Benchmarks[i].Name == "BenchmarkTracingOverhead/recorder-overhead" {
+			got = &sum.Benchmarks[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("no derived record in %+v", sum.Benchmarks)
+	}
+	want := 1382905.0 / 1411775.0
+	if r := got.Metrics["ratio"]; r < want-1e-9 || r > want+1e-9 {
+		t.Errorf("ratio = %v, want %v", r, want)
+	}
+}
+
 func TestRunWritesFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	stream := `{"Action":"output","Package":"p","Output":"BenchmarkX-2 5 100 ns/op\n"}`

@@ -136,6 +136,11 @@ func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, erro
 		return nil, nil, err
 	}
 
+	// Runtime gauges (GC pauses, heap, goroutines, sched latency) ride
+	// the registry for the process lifetime; the poller is cheap and
+	// the stop function is intentionally dropped.
+	obs.StartRuntimeMetrics(10 * time.Second)
+
 	logger.Info("building study", "seed", *seed, "probes", *probes)
 	start := time.Now()
 	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes, Workers: *workers})
@@ -172,10 +177,7 @@ func debugServer(addr string) *http.Server {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		obs.WritePrometheus(w)
-	})
+	mux.HandleFunc("/metrics", obs.ServeMetrics)
 	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,

@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		verbose     = fs.Bool("v", false, "shorthand for -log-level debug")
 		timings     = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
+		traceOut    = fs.String("trace", "", "write the evaluation's Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +70,18 @@ func run(args []string, out io.Writer) error {
 	}
 
 	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Workers: *workers})
-	res, err := study.WhatIf(context.Background(), sc)
+	ctx := context.Background()
+	var sp *obs.Span
+	if *traceOut != "" {
+		ctx, sp = obs.StartTrace(ctx, "whatif.evaluate")
+	}
+	res, err := study.WhatIf(ctx, sc)
+	if *traceOut != "" {
+		sp.End()
+		if werr := writeTrace(*traceOut, sp.TraceID()); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -86,6 +98,24 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, study.BuildReport())
 	}
 	return nil
+}
+
+// writeTrace renders the recorded evaluation as Chrome trace-event
+// JSON. An empty trace ID means the recorder is disabled — surfaced
+// as an error because the user explicitly asked for a trace.
+func writeTrace(path, id string) error {
+	if id == "" {
+		return fmt.Errorf("-trace: flight recorder is disabled, no trace recorded")
+	}
+	tr, ok := obs.DefaultTraces.Get(id)
+	if !ok {
+		return fmt.Errorf("-trace: trace %s was not retained", id)
+	}
+	buf, err := tr.ChromeTrace()
+	if err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	return os.WriteFile(path, buf, 0o644)
 }
 
 // loadScenario builds the scenario from the flags: a file spec, a

@@ -54,6 +54,57 @@ func TestRunFileJSON(t *testing.T) {
 	}
 }
 
+// TestRunTraceRoundTrip pins the -trace flag: the written file must be
+// valid Chrome trace-event JSON (an object with a traceEvents array of
+// ph/ts events) containing the evaluation's stage spans, so it loads
+// in Perfetto or chrome://tracing as-is.
+func TestRunTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-preset", "top12-cut", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("trace file is not valid trace-event JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	seen := map[string]bool{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			if ev.Pid != 1 || ev.Tid < 1 || ev.Dur < 0 || ev.Ts < 0 {
+				t.Errorf("malformed complete event %+v", ev)
+			}
+			seen[ev.Name] = true
+		case "M", "i":
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	for _, want := range []string{"whatif.evaluate", "scenario.evaluate", "scenario.stage.partition"} {
+		if !seen[want] {
+			t.Errorf("trace missing span %q; saw %v", want, seen)
+		}
+	}
+}
+
 func TestRunNoScenario(t *testing.T) {
 	if err := run(nil, &strings.Builder{}); err == nil {
 		t.Error("expected an error when nothing is selected")

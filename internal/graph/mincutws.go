@@ -173,9 +173,11 @@ func (g *Graph) GlobalMinCutWS(ws *Workspace, vertices []int, weights []float64,
 	// falls through to the full phase loop.
 	if allUnit {
 		if v, ok := mc.unitCutLE1(n, off, arcTo, arcEid); ok {
+			ws.mcFast++
 			return v, true
 		}
 	}
+	ws.mcFull++
 
 	// Union-find supervertices with member lists.
 	grow := func(p []int32) []int32 {

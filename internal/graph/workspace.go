@@ -54,6 +54,20 @@ type Workspace struct {
 	// Stoer-Wagner (GlobalMinCutWS) scratch, grown lazily on first
 	// min-cut query.
 	mc *mincutScratch
+
+	// Min-cut path counters: queries resolved by the unit-weight
+	// bridge-DFS fast path vs the full Stoer-Wagner phase loop. The
+	// workspace is single-goroutine, so plain increments suffice;
+	// callers read deltas around a batch via MinCutStats.
+	mcFast uint64
+	mcFull uint64
+}
+
+// MinCutStats reports how many GlobalMinCutWS queries on this
+// workspace were resolved by the unit-weight fast path and how many
+// fell through to the full Stoer-Wagner phase loop.
+func (w *Workspace) MinCutStats() (fastPath, stoerWagner uint64) {
+	return w.mcFast, w.mcFull
 }
 
 // NewWorkspace returns an empty workspace; it grows to fit the first

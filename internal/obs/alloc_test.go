@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// alloc_test.go pins the flight recorder's hot-path contract: when
+// recording is off (disabled store), a StartTrace+attrs+End cycle
+// allocates exactly what a plain Trace+End cycle does — the recorder
+// entry points reduce to nil-checks. Skips under -short and the race
+// detector, matching the graph/scenario packages' convention.
+
+func skipIfAllocsUnmeasurable(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("allocation guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("allocation guard skipped under the race detector")
+	}
+}
+
+func TestDisabledRecorderZeroExtraAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	st := NewTraceStore(4, 4)
+	st.SetEnabled(false)
+	swapTraces(t, st)
+	ctx := context.Background()
+
+	// Warm the stage metrics so End resolves existing instances.
+	_, sp := Trace(ctx, "alloc.guard")
+	sp.End()
+
+	base := testing.AllocsPerRun(200, func() {
+		_, sp := Trace(ctx, "alloc.guard")
+		sp.SetItems(1)
+		sp.End()
+	})
+	withRecorder := testing.AllocsPerRun(200, func() {
+		_, sp := StartTrace(ctx, "alloc.guard")
+		sp.SetAttr("k", "v")
+		sp.SetAttrInt("n", 42)
+		sp.Event("e")
+		sp.SetItems(1)
+		sp.End()
+	})
+	if withRecorder > base {
+		t.Fatalf("disabled recorder path allocates %.1f/run vs %.1f baseline — must be zero extra",
+			withRecorder, base)
+	}
+}
+
+func TestUnrecordedSpanAttrsZeroAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	_, sp := Trace(context.Background(), "alloc.attrs")
+	defer sp.End()
+	if avg := testing.AllocsPerRun(200, func() {
+		sp.SetAttr("k", "v")
+		sp.SetAttrInt("n", 7)
+		sp.Event("e")
+	}); avg != 0 {
+		t.Fatalf("unrecorded span attrs allocate %.1f per run, want 0", avg)
+	}
+}

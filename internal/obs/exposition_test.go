@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// exposition_test.go is the golden test for the Prometheus 0.0.4 text
+// exposition: a fixed registry must render byte-for-byte identically,
+// covering label-value escaping, the +Inf bucket, and deterministic
+// family/series ordering. Any change to WritePrometheus that moves a
+// byte shows up here.
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	// Families registered out of alphabetical order on purpose.
+	r.Counter("zz_requests_total", "Requests by route.", L("route", "/b")).Add(7)
+	r.Counter("zz_requests_total", "Requests by route.", L("route", "/a")).Add(3)
+	r.Gauge("aa_depth", "Queue depth.").Set(2.5)
+	r.Counter("mm_escapes_total", "Label escaping.",
+		L("path", `C:\tmp`), L("note", "say \"hi\"\nbye")).Inc()
+	h := r.Histogram("hh_lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	const want = `# HELP aa_depth Queue depth.
+# TYPE aa_depth gauge
+aa_depth 2.5
+# HELP hh_lat_seconds Latency.
+# TYPE hh_lat_seconds histogram
+hh_lat_seconds_bucket{le="0.1"} 1
+hh_lat_seconds_bucket{le="1"} 2
+hh_lat_seconds_bucket{le="+Inf"} 3
+hh_lat_seconds_sum 5.55
+hh_lat_seconds_count 3
+# HELP mm_escapes_total Label escaping.
+# TYPE mm_escapes_total counter
+mm_escapes_total{note="say \"hi\"\nbye",path="C:\\tmp"} 1
+# HELP zz_requests_total Requests by route.
+# TYPE zz_requests_total counter
+zz_requests_total{route="/a"} 3
+zz_requests_total{route="/b"} 7
+`
+	var out strings.Builder
+	r.WritePrometheus(&out)
+	if got := out.String(); got != want {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Rendering twice must be identical (ordering is deterministic, not
+	// map-iteration luck).
+	var again strings.Builder
+	r.WritePrometheus(&again)
+	if again.String() != out.String() {
+		t.Error("two renderings of the same registry differ")
+	}
+}
+
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "Requests.").Add(4)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{1})
+	h.ObserveExemplar(0.5, "deadbeef")
+
+	const want = `# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="1"} 1 # {trace_id="deadbeef"} 0.5
+lat_seconds_bucket{le="+Inf"} 1
+lat_seconds_sum 0.5
+lat_seconds_count 1
+# HELP req Requests.
+# TYPE req counter
+req_total 4
+# EOF
+`
+	var out strings.Builder
+	r.WriteOpenMetrics(&out)
+	if got := out.String(); got != want {
+		t.Errorf("OpenMetrics drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -76,6 +76,17 @@ type Histogram struct {
 	counts []atomic.Int64
 	sumB   atomic.Uint64 // float64 bits of the running sum
 	count  atomic.Int64
+	// exemplars holds the most recent exemplar per bucket (including
+	// the +Inf bucket), written by ObserveExemplar. Nil until the first
+	// exemplar arrives, so plain histograms pay nothing.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observed value to the trace that produced it
+// (OpenMetrics exemplar: `# {trace_id="..."} value` after the bucket).
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // Observe records one sample.
@@ -90,6 +101,18 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and tags its bucket with the
+// trace that produced it. The classic Prometheus exposition is
+// unchanged; exemplars surface only in the OpenMetrics rendering.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || h.exemplars == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
 }
 
 // Count returns the number of samples observed.
@@ -234,7 +257,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	}
 	f := r.family(name, help, kindHistogram, bounds)
 	return f.instance(labels, func() any {
-		return &Histogram{bounds: f.bounds, counts: make([]atomic.Int64, len(f.bounds)+1)}
+		return &Histogram{
+			bounds:    f.bounds,
+			counts:    make([]atomic.Int64, len(f.bounds)+1),
+			exemplars: make([]atomic.Pointer[exemplar], len(f.bounds)+1),
+		}
 	}).(*Histogram)
 }
 

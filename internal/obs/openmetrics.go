@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// openmetrics.go renders the registry in the OpenMetrics 1.0 text
+// format, which is where histogram exemplars live: the classic 0.0.4
+// exposition in metrics.go stays byte-stable (golden-tested), and
+// scrapers that want bucket→trace links opt in via the Accept header.
+// ServeMetrics is the shared /metrics handler doing that negotiation.
+
+// ContentTypePrometheus is the classic text exposition content type.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// ContentTypeOpenMetrics is the OpenMetrics text content type.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text
+// format: same families and ordering as WritePrometheus, with counter
+// family names stripped of their _total suffix in metadata lines (the
+// sample keeps it) and histogram buckets carrying exemplars when a
+// recorded trace observed into them. Exemplar timestamps are omitted
+// (optional per the spec) so the output stays deterministic.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		sigs := make([]string, 0, len(f.instances))
+		for sig := range f.instances {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		// OpenMetrics names a counter family without the _total suffix;
+		// the sample line keeps it.
+		famName := f.name
+		if f.kind == kindCounter {
+			famName = strings.TrimSuffix(famName, "_total")
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", famName, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", famName, f.kind)
+		for _, sig := range sigs {
+			switch m := f.instances[sig].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, sig, m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, sig, formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogramOM(w, f.name, sig, m)
+			}
+		}
+		f.mu.Unlock()
+	}
+	io.WriteString(w, "# EOF\n")
+}
+
+func writeHistogramOM(w io.Writer, name, sig string, h *Histogram) {
+	withLE := func(le string) string {
+		if sig == "" {
+			return `{le="` + le + `"}`
+		}
+		return sig[:len(sig)-1] + `,le="` + le + `"}`
+	}
+	writeBucket := func(i int, le string, cum int64) {
+		fmt.Fprintf(w, "%s_bucket%s %d", name, withLE(le), cum)
+		if h.exemplars != nil {
+			if ex := h.exemplars[i].Load(); ex != nil {
+				fmt.Fprintf(w, " # {trace_id=%q} %s", ex.traceID, formatFloat(ex.value))
+			}
+		}
+		io.WriteString(w, "\n")
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeBucket(i, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeBucket(len(h.bounds), "+Inf", cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sig, h.Count())
+}
+
+// WriteOpenMetrics renders the Default registry.
+func WriteOpenMetrics(w io.Writer) { Default.WriteOpenMetrics(w) }
+
+// ServeMetrics is the shared /metrics handler: the classic Prometheus
+// 0.0.4 text exposition by default, the OpenMetrics rendering (with
+// exemplars) when the Accept header asks for application/openmetrics-text.
+func ServeMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+		Default.WriteOpenMetrics(w)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypePrometheus)
+	Default.WritePrometheus(w)
+}

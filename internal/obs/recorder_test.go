@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// swapTraces points DefaultTraces at a fresh store for the duration of
+// a test. Recorder tests must not run in parallel with each other.
+func swapTraces(t *testing.T, st *TraceStore) {
+	t.Helper()
+	old := DefaultTraces
+	DefaultTraces = st
+	t.Cleanup(func() { DefaultTraces = old })
+}
+
+func TestStartTraceRecordsSpanTree(t *testing.T) {
+	st := NewTraceStore(8, 8)
+	swapTraces(t, st)
+
+	ctx, root := StartTrace(context.Background(), "eval")
+	if root.TraceID() == "" {
+		t.Fatal("root span has no trace ID")
+	}
+	id := root.TraceID()
+	root.SetAttr("path", "overlay")
+	root.SetAttrInt("touched", 3)
+
+	cctx, child := Trace(ctx, "eval.stage")
+	if child.TraceID() != id {
+		t.Fatalf("child trace ID %q != root %q", child.TraceID(), id)
+	}
+	child.Event("checkpoint")
+	_, grand := Trace(cctx, "eval.stage.inner")
+	grand.End()
+	child.End()
+	root.End()
+
+	tr, ok := st.Get(id)
+	if !ok {
+		t.Fatalf("trace %q not retained", id)
+	}
+	if tr.Root != "eval" {
+		t.Errorf("root name = %q", tr.Root)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(tr.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range tr.Spans {
+		byName[s.Name] = s
+	}
+	rootRec, stage, inner := byName["eval"], byName["eval.stage"], byName["eval.stage.inner"]
+	if rootRec.SpanID != 1 || rootRec.ParentID != 0 {
+		t.Errorf("root ids = %d/%d", rootRec.SpanID, rootRec.ParentID)
+	}
+	if stage.ParentID != rootRec.SpanID {
+		t.Errorf("stage parent = %d, want %d", stage.ParentID, rootRec.SpanID)
+	}
+	if inner.ParentID != stage.SpanID {
+		t.Errorf("inner parent = %d, want %d", inner.ParentID, stage.SpanID)
+	}
+	wantAttrs := map[string]string{"path": "overlay", "touched": "3"}
+	for _, a := range rootRec.Attrs {
+		if wantAttrs[a.Key] != a.Value {
+			t.Errorf("attr %s = %q", a.Key, a.Value)
+		}
+		delete(wantAttrs, a.Key)
+	}
+	if len(wantAttrs) != 0 {
+		t.Errorf("missing attrs: %v", wantAttrs)
+	}
+	if len(stage.Events) != 1 || stage.Events[0].Name != "checkpoint" {
+		t.Errorf("stage events = %+v", stage.Events)
+	}
+	// Spans are sorted by start offset: root first.
+	if tr.Spans[0].Name != "eval" {
+		t.Errorf("spans[0] = %q, want root", tr.Spans[0].Name)
+	}
+}
+
+func TestStartTraceJoinsEnclosingTrace(t *testing.T) {
+	st := NewTraceStore(4, 4)
+	swapTraces(t, st)
+	ctx, outer := StartTrace(context.Background(), "outer")
+	_, inner := StartTrace(ctx, "inner")
+	if inner.TraceID() != outer.TraceID() {
+		t.Fatalf("nested StartTrace opened a new trace")
+	}
+	inner.End()
+	outer.End()
+	tr, ok := st.Get(outer.TraceID())
+	if !ok || len(tr.Spans) != 2 {
+		t.Fatalf("trace = %+v, ok=%v", tr, ok)
+	}
+}
+
+func TestTraceStoreDisabled(t *testing.T) {
+	st := NewTraceStore(4, 4)
+	st.SetEnabled(false)
+	swapTraces(t, st)
+	_, sp := StartTrace(context.Background(), "off")
+	if sp.TraceID() != "" {
+		t.Fatalf("disabled store still recorded trace %q", sp.TraceID())
+	}
+	sp.End()
+	if n := st.Len(); n != 0 {
+		t.Fatalf("retained %d traces while disabled", n)
+	}
+}
+
+func TestTraceStoreRetention(t *testing.T) {
+	st := NewTraceStore(2, 2)
+	// Feed traces with increasing then decreasing durations; the store
+	// must keep the 2 most recent plus the 2 slowest.
+	durs := []int64{10, 50, 40, 30, 5, 1}
+	base := time.Now()
+	for i, d := range durs {
+		st.add(&TraceRecord{
+			ID:    fmt.Sprintf("t%d", i),
+			Root:  "r",
+			Start: base.Add(time.Duration(i) * time.Second),
+			DurNs: d,
+		})
+	}
+	idx := st.Index()
+	got := map[string]bool{}
+	for _, s := range idx {
+		got[s.ID] = true
+	}
+	// Most recent: t4, t5. Slowest: t1 (50), t2 (40).
+	for _, want := range []string{"t4", "t5", "t1", "t2"} {
+		if !got[want] {
+			t.Errorf("retention lost %s; kept %v", want, got)
+		}
+	}
+	if len(idx) != 4 {
+		t.Errorf("index = %d entries, want 4: %+v", len(idx), idx)
+	}
+	// Index is newest-first.
+	for i := 1; i < len(idx); i++ {
+		if idx[i].Start.After(idx[i-1].Start) {
+			t.Errorf("index not sorted newest-first at %d", i)
+		}
+	}
+	// Slowest flags on the board members.
+	for _, s := range idx {
+		wantSlow := s.ID == "t1" || s.ID == "t2"
+		if s.Slowest != wantSlow {
+			t.Errorf("%s Slowest = %v, want %v", s.ID, s.Slowest, wantSlow)
+		}
+	}
+	// Get resolves traces held only by the slowest board.
+	if _, ok := st.Get("t1"); !ok {
+		t.Error("Get lost a slowest-board trace")
+	}
+	if _, ok := st.Get("t0"); ok {
+		t.Error("evicted trace still resolvable")
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := newTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConcurrentSpanEnds(t *testing.T) {
+	st := NewTraceStore(4, 4)
+	swapTraces(t, st)
+	ctx, root := StartTrace(context.Background(), "fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := Trace(ctx, "fanout.worker")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	tr, ok := st.Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(tr.Spans) != 17 {
+		t.Fatalf("spans = %d, want 17", len(tr.Spans))
+	}
+	ids := map[uint32]bool{}
+	for _, s := range tr.Spans {
+		if ids[s.SpanID] {
+			t.Fatalf("duplicate span ID %d", s.SpanID)
+		}
+		ids[s.SpanID] = true
+		if s.Name == "fanout.worker" && s.ParentID != 1 {
+			t.Errorf("worker parent = %d, want 1", s.ParentID)
+		}
+	}
+}
+
+func TestSpanAfterSealDropped(t *testing.T) {
+	st := NewTraceStore(4, 4)
+	swapTraces(t, st)
+	ctx, root := StartTrace(context.Background(), "root")
+	_, straggler := Trace(ctx, "late")
+	root.End()
+	straggler.End() // after the seal: must not corrupt the record
+	tr, _ := st.Get(root.TraceID())
+	if len(tr.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1 (straggler dropped)", len(tr.Spans))
+	}
+}
+
+func TestSpanFromContext(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Error("empty context yielded a span")
+	}
+	if SpanFromContext(nil) != nil {
+		t.Error("nil context yielded a span")
+	}
+	ctx, sp := Trace(context.Background(), "x")
+	if SpanFromContext(ctx) != sp {
+		t.Error("SpanFromContext did not return the open span")
+	}
+	sp.End()
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	st := NewTraceStore(4, 4)
+	swapTraces(t, st)
+	ctx, root := StartTrace(context.Background(), "eval")
+	root.SetAttr("path", "overlay")
+	_, child := Trace(ctx, "eval.stage")
+	child.SetAttr("outcome", "recomputed")
+	child.Event("mark")
+	child.End()
+	root.End()
+
+	tr, _ := st.Get(root.TraceID())
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("chrome trace does not parse: %v\n%s", err, raw)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	var complete, meta, instant int
+	var sawOutcome bool
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Pid != 1 || ev.Tid < 1 {
+				t.Errorf("event %q pid/tid = %d/%d", ev.Name, ev.Pid, ev.Tid)
+			}
+			if ev.Name == "eval.stage" {
+				if ev.Args["outcome"] == "recomputed" {
+					sawOutcome = true
+				}
+			}
+		case "M":
+			meta++
+		case "i":
+			instant++
+		}
+	}
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2", complete)
+	}
+	if meta == 0 {
+		t.Error("no metadata events")
+	}
+	if instant != 1 {
+		t.Errorf("instant events = %d, want 1", instant)
+	}
+	if !sawOutcome {
+		t.Error("stage attrs not carried into event args")
+	}
+}
+
+func TestExemplarInOpenMetrics(t *testing.T) {
+	st := NewTraceStore(4, 4)
+	swapTraces(t, st)
+	_, sp := StartTrace(context.Background(), "exemplar.stage")
+	id := sp.TraceID()
+	sp.End()
+
+	var om strings.Builder
+	WriteOpenMetrics(&om)
+	want := `trace_id="` + id + `"`
+	if !strings.Contains(om.String(), want) {
+		t.Errorf("OpenMetrics output missing exemplar %s", want)
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Error("OpenMetrics output missing # EOF terminator")
+	}
+	// The classic exposition must stay exemplar-free.
+	var prom strings.Builder
+	WritePrometheus(&prom)
+	if strings.Contains(prom.String(), "trace_id=") {
+		t.Error("exemplar leaked into the 0.0.4 exposition")
+	}
+}

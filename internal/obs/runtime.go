@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtime.go feeds a small set of runtime/metrics samples into the
+// registry as gauges, so the /metrics exposition carries GC pauses,
+// heap pressure, goroutine counts, and scheduler latency next to the
+// application metrics. The poller is cheap (metrics.Read on a fixed
+// sample slice) and runs on an interval; ReadRuntimeMetrics is the
+// single-shot form for tests and one-off snapshots.
+
+var runtimeSamples = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+var (
+	rtHeapObjects = GetGauge("runtime_heap_objects_bytes",
+		"Bytes of live heap objects (runtime/metrics).")
+	rtMemTotal = GetGauge("runtime_memory_total_bytes",
+		"Total bytes mapped by the Go runtime.")
+	rtGoroutines = GetGauge("runtime_goroutines",
+		"Live goroutine count.")
+	rtGCCycles = GetGauge("runtime_gc_cycles_total",
+		"Completed GC cycles.")
+	rtGCPauseP50 = GetGauge("runtime_gc_pause_p50_seconds",
+		"Median stop-the-world GC pause (distribution since process start).")
+	rtGCPauseP99 = GetGauge("runtime_gc_pause_p99_seconds",
+		"99th-percentile stop-the-world GC pause.")
+	rtSchedLatP50 = GetGauge("runtime_sched_latency_p50_seconds",
+		"Median goroutine scheduling latency.")
+	rtSchedLatP99 = GetGauge("runtime_sched_latency_p99_seconds",
+		"99th-percentile goroutine scheduling latency.")
+)
+
+// ReadRuntimeMetrics samples the runtime once and updates the runtime
+// gauges in the Default registry.
+func ReadRuntimeMetrics() {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	readRuntimeInto(samples)
+}
+
+func readRuntimeInto(samples []metrics.Sample) {
+	metrics.Read(samples)
+	for i := range samples {
+		s := &samples[i]
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			setIfUint(rtHeapObjects, s)
+		case "/memory/classes/total:bytes":
+			setIfUint(rtMemTotal, s)
+		case "/sched/goroutines:goroutines":
+			setIfUint(rtGoroutines, s)
+		case "/gc/cycles/total:gc-cycles":
+			setIfUint(rtGCCycles, s)
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rtGCPauseP50.Set(histQuantile(h, 0.50))
+				rtGCPauseP99.Set(histQuantile(h, 0.99))
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rtSchedLatP50.Set(histQuantile(h, 0.50))
+				rtSchedLatP99.Set(histQuantile(h, 0.99))
+			}
+		}
+	}
+}
+
+func setIfUint(g *Gauge, s *metrics.Sample) {
+	if s.Value.Kind() == metrics.KindUint64 {
+		g.Set(float64(s.Value.Uint64()))
+	}
+}
+
+// histQuantile returns the q-quantile of a runtime cumulative-count
+// histogram, interpolated to the lower bucket bound (the runtime's
+// buckets are fine-grained enough that the bound itself is the usual
+// convention). Returns 0 for an empty distribution.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > want {
+			// Buckets[i] is the lower bound of counts[i]; the first and
+			// last bounds can be ±Inf.
+			b := h.Buckets[i]
+			if b < 0 || b != b { // -Inf or NaN
+				return 0
+			}
+			return b
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// StartRuntimeMetrics polls the runtime gauges on the given interval
+// until the returned stop function is called. A non-positive interval
+// defaults to 10s.
+func StartRuntimeMetrics(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		samples := make([]metrics.Sample, len(runtimeSamples))
+		for i, name := range runtimeSamples {
+			samples[i].Name = name
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		readRuntimeInto(samples)
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				readRuntimeInto(samples)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

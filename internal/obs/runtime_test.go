@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadRuntimeMetrics(t *testing.T) {
+	runtime.GC() // ensure at least one GC cycle has completed
+	ReadRuntimeMetrics()
+	if v := rtGoroutines.Value(); v < 1 {
+		t.Errorf("runtime_goroutines = %g, want >= 1", v)
+	}
+	if v := rtHeapObjects.Value(); v <= 0 {
+		t.Errorf("runtime_heap_objects_bytes = %g, want > 0", v)
+	}
+	if v := rtGCCycles.Value(); v < 1 {
+		t.Errorf("runtime_gc_cycles_total = %g, want >= 1", v)
+	}
+	if v := rtGCPauseP99.Value(); v < rtGCPauseP50.Value() {
+		t.Errorf("gc pause p99 %g < p50 %g", v, rtGCPauseP50.Value())
+	}
+	var out strings.Builder
+	WritePrometheus(&out)
+	for _, want := range []string{
+		"runtime_goroutines", "runtime_heap_objects_bytes",
+		"runtime_gc_pause_p99_seconds", "runtime_sched_latency_p99_seconds",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+func TestStartRuntimeMetricsStops(t *testing.T) {
+	stop := StartRuntimeMetrics(time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	if v := rtGoroutines.Value(); v < 1 {
+		t.Errorf("poller never sampled: goroutines = %g", v)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -16,7 +17,7 @@ import (
 // same data reaches /metrics.
 
 // Span is one in-flight timed stage. A Span is owned by the goroutine
-// that opened it; SetItems/SetWorkers/End must not race.
+// that opened it; SetItems/SetWorkers/SetAttr/Event/End must not race.
 type Span struct {
 	// Name identifies the stage ("study.campaign",
 	// "traceroute.synthesize", ...). Spans with equal names aggregate
@@ -31,6 +32,15 @@ type Span struct {
 	workers int
 	sink    *Sink
 	ended   bool
+
+	// Flight-recorder state: nil rec means the span is outside any
+	// recorded trace and every recorder entry point is a no-op.
+	rec      *traceRec
+	spanID   uint32
+	parentID uint32
+	root     bool
+	attrs    []Attr
+	events   []Event
 }
 
 type spanCtxKey struct{}
@@ -38,17 +48,71 @@ type spanCtxKey struct{}
 // Trace opens a span named name. The parent is taken from ctx (the
 // span most recently opened through Trace on that context chain); the
 // returned context carries the new span so nested stages link to it.
-// Spans report to the DefaultSink.
+// When the parent belongs to a recorded trace the new span joins it,
+// inheriting the trace and getting a fresh span ID; otherwise the span
+// is aggregate-only. Spans report to the DefaultSink.
 func Trace(ctx context.Context, name string) (context.Context, *Span) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	parent := ""
+	sp := &Span{Name: name, start: time.Now(), sink: DefaultSink}
 	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
-		parent = p.Name
+		sp.Parent = p.Name
+		if p.rec != nil {
+			sp.rec = p.rec
+			sp.parentID = p.spanID
+			sp.spanID = p.rec.nextID.Add(1)
+		}
 	}
-	sp := &Span{Name: name, Parent: parent, start: time.Now(), sink: DefaultSink}
 	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// SpanFromContext returns the span most recently opened through Trace
+// on this context chain, or nil. Useful to attach attributes (a cache
+// outcome, say) to the caller's span from a callee that doesn't open
+// its own.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// TraceID returns the ID of the recorded trace this span belongs to,
+// or "" when the span is not being recorded.
+func (s *Span) TraceID() string {
+	if s == nil || s.rec == nil {
+		return ""
+	}
+	return s.rec.idStr
+}
+
+// SetAttr attaches a key/value attribute to the span. No-op (and
+// alloc-free) when the span is not being recorded.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt attaches an integer attribute to the span. No-op when the
+// span is not being recorded.
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(value, 10)})
+}
+
+// Event records a point-in-time annotation inside the span, stamped
+// with its offset from the span start. No-op when not recorded.
+func (s *Span) Event(name string) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.events = append(s.events, Event{Name: name, AtNs: time.Since(s.start).Nanoseconds()})
 }
 
 // SetItems records how many items the stage processed (probes routed,
@@ -83,9 +147,15 @@ func (s *Span) End() {
 	s.ended = true
 	d := time.Since(s.start)
 	s.sink.record(s, d)
-	GetHistogram("stage_duration_seconds",
+	h := GetHistogram("stage_duration_seconds",
 		"Wall time of each build/analysis stage.", nil,
-		L("stage", s.Name)).Observe(d.Seconds())
+		L("stage", s.Name))
+	if s.rec != nil {
+		h.ObserveExemplar(d.Seconds(), s.rec.idStr)
+		s.rec.fold(s, d)
+	} else {
+		h.Observe(d.Seconds())
+	}
 	if s.items > 0 {
 		GetCounter("stage_items_total",
 			"Items processed by each build/analysis stage.",

@@ -27,6 +27,7 @@ import (
 	"context"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -216,6 +217,12 @@ func forChunksWorkerCtx(ctx context.Context, lo, hi, workers int, fn func(worker
 					panicMu.Unlock()
 				}
 			}()
+			if ctx != nil {
+				// Adopt the caller's pprof labels (stage=, scenario_hash=)
+				// so CPU profile samples from worker goroutines attribute
+				// to the enclosing evaluation stage. Observational only.
+				pprof.SetGoroutineLabels(ctx)
+			}
 			for {
 				// Chunk-grant boundary: a canceled context stops the
 				// claim loop, but the chunk being executed finishes.

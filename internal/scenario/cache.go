@@ -119,12 +119,14 @@ func (c *Cache) Eval(ctx context.Context, sc Scenario) (*Result, error) {
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		cacheHits.Inc()
+		obs.SpanFromContext(ctx).SetAttr("cache", "hit")
 		return el.Value.(*entry).res, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
 		fl.waiters++
 		c.mu.Unlock()
 		cacheCoalesced.Inc()
+		obs.SpanFromContext(ctx).SetAttr("cache", "coalesced")
 		return c.wait(ctx, key, fl)
 	}
 	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
@@ -133,6 +135,11 @@ func (c *Cache) Eval(ctx context.Context, sc Scenario) (*Result, error) {
 	c.mu.Unlock()
 
 	cacheMisses.Inc()
+	// The flight context keeps ctx's values (WithoutCancel), so the
+	// engine's spans join the leader caller's recorded trace; only the
+	// leader's trace carries the evaluation tree, which is truthful —
+	// coalesced followers did not run it.
+	obs.SpanFromContext(ctx).SetAttr("cache", "miss")
 	go c.run(fctx, key, fl, snap, sc)
 	return c.wait(ctx, key, fl)
 }

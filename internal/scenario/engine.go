@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -307,15 +308,42 @@ func (e *Engine) evaluateOn(ctx context.Context, snap *snapshot, sc Scenario) (_
 			evaluationsCanceled.Inc()
 		}
 	}()
+	// Trace, not StartTrace: the evaluation joins an enclosing recorded
+	// trace (an HTTP scenario request, a whatif run, a sweep) but never
+	// starts one itself, keeping raw Evaluate loops recorder-free.
 	ctx, sp := obs.Trace(ctx, "scenario.evaluate")
 	defer sp.End()
 	e.runEvalHook(ctx)
 
-	var res *Result
+	path := "overlay"
 	if e.opts.CloneEval {
-		res, err = e.evaluateClone(ctx, snap, sc)
+		path = "clone"
+	}
+	hash := ""
+	if sp.TraceID() != "" {
+		// The hash only feeds attribution (span attrs, pprof labels);
+		// computing it is skipped entirely when nothing records.
+		hash = sc.Hash()
+		sp.SetAttr("scenario_hash", hash)
+		sp.SetAttr("path", path)
+		sp.SetAttrInt("baseline_version", int64(snap.version))
+	}
+
+	var res *Result
+	run := func(ctx context.Context) {
+		if e.opts.CloneEval {
+			res, err = e.evaluateClone(ctx, snap, sc)
+		} else {
+			res, err = e.evaluateOverlay(ctx, snap, sc)
+		}
+	}
+	if hash != "" {
+		// pprof labels make CPU profile samples (including par worker
+		// goroutines, which adopt the labels at spawn) attributable to
+		// the evaluation. Only paid when the evaluation is recorded.
+		pprof.Do(ctx, pprof.Labels("stage", "scenario.evaluate", "scenario_hash", hash), run)
 	} else {
-		res, err = e.evaluateOverlay(ctx, snap, sc)
+		run(ctx)
 	}
 	if err != nil {
 		return nil, err
@@ -483,6 +511,8 @@ func (e *Engine) latencyStage(ctx context.Context, snap *snapshot, sc Scenario, 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	ctx, sp := obs.Trace(ctx, "scenario.stage.latency")
+	defer sp.End()
 	maxPairs := e.opts.LatencyMaxPairs
 	if sc.Overrides.LatencyMaxPairs > 0 {
 		maxPairs = sc.Overrides.LatencyMaxPairs
@@ -515,6 +545,8 @@ func (e *Engine) trafficStage(ctx context.Context, snap *snapshot, sc Scenario, 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	ctx, sp := obs.Trace(ctx, "scenario.stage.traffic")
+	defer sp.End()
 	probes := e.opts.Probes
 	if sc.Overrides.Probes > 0 {
 		probes = sc.Overrides.Probes

@@ -9,6 +9,7 @@ import (
 
 	"intertubes/internal/fiber"
 	"intertubes/internal/graph"
+	"intertubes/internal/obs"
 	"intertubes/internal/resilience"
 	"intertubes/internal/risk"
 )
@@ -93,63 +94,90 @@ func (e *Engine) evaluateOverlay(ctx context.Context, snap *snapshot, sc Scenari
 	m := snap.res.Map
 	base := snap.baseline()
 
-	cuts, err := resolveCutsOn(snap, sc)
-	if err != nil {
-		return nil, err
+	// Stage spans carry the attribution story of the overlay path —
+	// which stages ran against the delta, which reused baseline rows,
+	// and for how many touched providers. stage() brackets one section;
+	// attrs are no-ops unless the evaluation is being recorded.
+	stage := func(name string, fn func(sp *obs.Span) error) error {
+		_, sp := obs.Trace(ctx, name)
+		defer sp.End()
+		return fn(sp)
 	}
 
-	res := &Result{
-		Hash:        sc.Hash(),
-		Scenario:    sc,
-		Cut:         cuts,
-		ConduitsCut: len(cuts),
-		ISPsRemoved: sc.RemoveISPs,
-	}
-	for _, cid := range cuts {
-		res.TenanciesCut += len(m.Conduit(cid).Tenants)
-	}
-
-	kept := keptISPs(snap, sc)
+	var (
+		res  *Result
+		kept []string
+		pert fiber.Perturbation
+		ov   *fiber.Overlay
+	)
 	removed := make(map[string]bool, len(sc.RemoveISPs))
-	for _, isp := range sc.RemoveISPs {
-		removed[isp] = true
-	}
+	err := stage("scenario.stage.apply", func(sp *obs.Span) error {
+		cuts, err := resolveCutsOn(snap, sc)
+		if err != nil {
+			return err
+		}
+		res = &Result{
+			Hash:        sc.Hash(),
+			Scenario:    sc,
+			Cut:         cuts,
+			ConduitsCut: len(cuts),
+			ISPsRemoved: sc.RemoveISPs,
+		}
+		for _, cid := range cuts {
+			res.TenanciesCut += len(m.Conduit(cid).Tenants)
+		}
 
-	// Resolve additions to node ids; an empty tenant list means open
-	// access — every kept provider lights the build.
-	pert := fiber.Perturbation{Cuts: cuts, RemoveISPs: sc.RemoveISPs}
-	for _, ad := range sc.Additions {
-		a, ok := m.NodeByKey(ad.A)
-		if !ok {
-			return nil, fmt.Errorf("scenario: unknown node %q in addition", ad.A)
+		kept = keptISPs(snap, sc)
+		for _, isp := range sc.RemoveISPs {
+			removed[isp] = true
 		}
-		b, ok := m.NodeByKey(ad.B)
-		if !ok {
-			return nil, fmt.Errorf("scenario: unknown node %q in addition", ad.B)
+
+		// Resolve additions to node ids; an empty tenant list means open
+		// access — every kept provider lights the build.
+		pert = fiber.Perturbation{Cuts: cuts, RemoveISPs: sc.RemoveISPs}
+		for _, ad := range sc.Additions {
+			a, ok := m.NodeByKey(ad.A)
+			if !ok {
+				return fmt.Errorf("scenario: unknown node %q in addition", ad.A)
+			}
+			b, ok := m.NodeByKey(ad.B)
+			if !ok {
+				return fmt.Errorf("scenario: unknown node %q in addition", ad.B)
+			}
+			tenants := ad.Tenants
+			if len(tenants) == 0 {
+				tenants = kept
+			}
+			pert.Additions = append(pert.Additions, fiber.OverlayAddition{A: a, B: b, Tenants: tenants})
 		}
-		tenants := ad.Tenants
-		if len(tenants) == 0 {
-			tenants = kept
+		if ov, err = fiber.NewOverlay(m, pert); err != nil {
+			return err
 		}
-		pert.Additions = append(pert.Additions, fiber.OverlayAddition{A: a, B: b, Tenants: tenants})
-	}
-	ov, err := fiber.NewOverlay(m, pert)
+		res.LinksRemoved = ov.LinksRemoved()
+		res.ConduitsAdded = len(pert.Additions)
+		sp.SetAttrInt("cuts", int64(len(cuts)))
+		sp.SetAttrInt("additions", int64(len(pert.Additions)))
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.LinksRemoved = ov.LinksRemoved()
-	res.ConduitsAdded = len(pert.Additions)
+	cuts := res.Cut
 
 	if err := checkpoint(); err != nil {
 		return nil, err
 	}
 
 	plus, final := ov.Plus(), ov.Final()
-	mx2 := risk.BuildFrom(final, kept)
-
-	res.Stats = StatsDelta{Before: base.stats, After: final.Stats()}
-	fillSharing(res, base, mx2)
-	fillRanking(res, base, mx2)
+	var mx2 *risk.Matrix
+	_ = stage("scenario.stage.matrix", func(sp *obs.Span) error {
+		mx2 = risk.BuildFrom(final, kept)
+		res.Stats = StatsDelta{Before: base.stats, After: final.Stats()}
+		fillSharing(res, base, mx2)
+		fillRanking(res, base, mx2)
+		sp.SetAttrInt("isps", int64(len(mx2.ISPs)))
+		return nil
+	})
 
 	if err := checkpoint(); err != nil {
 		return nil, err
@@ -182,23 +210,29 @@ func (e *Engine) evaluateOverlay(ctx context.Context, snap *snapshot, sc Scenari
 	// Per-ISP disconnection on the plus view (cuts excluded by weight,
 	// footprints intact), in matrix order then stable-sorted by damage
 	// — CutImpact's exact ordering.
-	impacts := make([]resilience.Impact, 0, len(mx2.ISPs))
-	for _, isp := range mx2.ISPs {
-		bits := touched[isp]
-		if bits == 0 {
-			impacts = append(impacts, base.disc[isp])
-			continue
+	_ = stage("scenario.stage.disconnection", func(sp *obs.Span) error {
+		recomputed := 0
+		impacts := make([]resilience.Impact, 0, len(mx2.ISPs))
+		for _, isp := range mx2.ISPs {
+			bits := touched[isp]
+			if bits == 0 {
+				impacts = append(impacts, base.disc[isp])
+				continue
+			}
+			recomputed++
+			nodes := snap.ispNodes[snap.ispIdx[isp]]
+			if bits&touchedAdd != 0 {
+				nodes = plus.NodesOf(isp)
+			}
+			impacts = append(impacts, scr.imp.ImpactOn(plus, isp, nodes, cuts, cutMask))
 		}
-		nodes := snap.ispNodes[snap.ispIdx[isp]]
-		if bits&touchedAdd != 0 {
-			nodes = plus.NodesOf(isp)
-		}
-		impacts = append(impacts, scr.imp.ImpactOn(plus, isp, nodes, cuts, cutMask))
-	}
-	sort.SliceStable(impacts, func(i, j int) bool {
-		return impacts[i].DisconnectedPairs > impacts[j].DisconnectedPairs
+		sort.SliceStable(impacts, func(i, j int) bool {
+			return impacts[i].DisconnectedPairs > impacts[j].DisconnectedPairs
+		})
+		fillDisconnection(res, base, impacts)
+		setReuseAttrs(sp, recomputed, len(mx2.ISPs)-recomputed)
+		return nil
 	})
-	fillDisconnection(res, base, impacts)
 
 	if err := checkpoint(); err != nil {
 		return nil, err
@@ -207,45 +241,55 @@ func (e *Engine) evaluateOverlay(ctx context.Context, snap *snapshot, sc Scenari
 	// Partition cost on the final view. Touched providers run the
 	// sparse Stoer-Wagner kernel over the masked snapshot weight row;
 	// the rest reuse the baseline cost.
-	type pcost struct {
-		isp string
-		min int
-	}
-	pcs := make([]pcost, 0, len(kept))
-	nb := ov.NumBaseConduits()
-	nc := final.NumConduits()
-	for _, isp := range kept {
-		bits := touched[isp]
-		if bits == 0 {
-			pcs = append(pcs, pcost{isp: isp, min: base.part[isp]})
-			continue
+	_ = stage("scenario.stage.partition", func(sp *obs.Span) error {
+		fast0, full0 := scr.ws.MinCutStats()
+		recomputed := 0
+		type pcost struct {
+			isp string
+			min int
 		}
-		// Tenancy gains this provider received on merged (base-conduit)
-		// additions; overlay-new conduits become extra edges instead.
-		scr.verts = scr.verts[:0]
-		scr.extra = scr.extra[:0]
-		gains := gainsFor(pert.Additions, ov.AdditionTargets(), nb, isp)
-		maskWeights(scr.w, snap.ispW[snap.ispIdx[isp]], gains, cuts)
-		for cid := fiber.ConduitID(nb); int(cid) < nc; cid++ {
-			if final.HasTenant(cid, isp) {
-				a, b := final.ConduitEnds(cid)
-				scr.extra = append(scr.extra, graph.Edge{U: int(a), V: int(b), Weight: 1})
+		pcs := make([]pcost, 0, len(kept))
+		nb := ov.NumBaseConduits()
+		nc := final.NumConduits()
+		for _, isp := range kept {
+			bits := touched[isp]
+			if bits == 0 {
+				pcs = append(pcs, pcost{isp: isp, min: base.part[isp]})
+				continue
 			}
+			recomputed++
+			// Tenancy gains this provider received on merged (base-conduit)
+			// additions; overlay-new conduits become extra edges instead.
+			scr.verts = scr.verts[:0]
+			scr.extra = scr.extra[:0]
+			gains := gainsFor(pert.Additions, ov.AdditionTargets(), nb, isp)
+			maskWeights(scr.w, snap.ispW[snap.ispIdx[isp]], gains, cuts)
+			for cid := fiber.ConduitID(nb); int(cid) < nc; cid++ {
+				if final.HasTenant(cid, isp) {
+					a, b := final.ConduitEnds(cid)
+					scr.extra = append(scr.extra, graph.Edge{U: int(a), V: int(b), Weight: 1})
+				}
+			}
+			for _, n := range final.NodesOf(isp) {
+				scr.verts = append(scr.verts, int(n))
+			}
+			min := resilience.PartitionCostWS(snap.g, scr.ws, scr.verts, scr.w, scr.extra)
+			pcs = append(pcs, pcost{isp: isp, min: min})
 		}
-		for _, n := range final.NodesOf(isp) {
-			scr.verts = append(scr.verts, int(n))
+		sort.SliceStable(pcs, func(i, j int) bool { return pcs[i].min < pcs[j].min })
+		for _, pc := range pcs {
+			res.Partition = append(res.Partition, PartitionShift{
+				ISP:    pc.isp,
+				Before: base.part[pc.isp],
+				After:  pc.min,
+			})
 		}
-		min := resilience.PartitionCostWS(snap.g, scr.ws, scr.verts, scr.w, scr.extra)
-		pcs = append(pcs, pcost{isp: isp, min: min})
-	}
-	sort.SliceStable(pcs, func(i, j int) bool { return pcs[i].min < pcs[j].min })
-	for _, pc := range pcs {
-		res.Partition = append(res.Partition, PartitionShift{
-			ISP:    pc.isp,
-			Before: base.part[pc.isp],
-			After:  pc.min,
-		})
-	}
+		setReuseAttrs(sp, recomputed, len(kept)-recomputed)
+		fast, full := scr.ws.MinCutStats()
+		sp.SetAttrInt("mincut_fastpath", int64(fast-fast0))
+		sp.SetAttrInt("mincut_stoerwagner", int64(full-full0))
+		return nil
+	})
 
 	// The optional heavyweight stages consume a concrete *Map; build
 	// it once, only when asked.
@@ -259,6 +303,19 @@ func (e *Engine) evaluateOverlay(ctx context.Context, snap *snapshot, sc Scenari
 		}
 	}
 	return res, nil
+}
+
+// setReuseAttrs records a stage's reuse attribution: how many
+// providers it recomputed against the delta vs served from baseline
+// rows, and the stage outcome ("reused" when the delta touched no one).
+func setReuseAttrs(sp *obs.Span, recomputed, reused int) {
+	outcome := "reused"
+	if recomputed > 0 {
+		outcome = "recomputed"
+	}
+	sp.SetAttr("outcome", outcome)
+	sp.SetAttrInt("touched", int64(recomputed))
+	sp.SetAttrInt("reused", int64(reused))
 }
 
 // gainsFor collects the merged-addition base conduits where the

@@ -2,6 +2,9 @@ package scenario
 
 import (
 	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
 
 	"intertubes/internal/obs"
 	"intertubes/internal/par"
@@ -20,6 +23,15 @@ type Outcome struct {
 	Err    string  `json:"err,omitempty"`
 }
 
+// sweepProgress is the live completed/total ratio of the most recent
+// sweep (1 when idle after a finished sweep, 0 before any). The
+// disaster-grid sweep service polls this for progress bars.
+var sweepProgress = obs.GetGauge("scenario_sweep_progress",
+	"Fraction of the current scenario sweep completed (completed/total).")
+
+// progressLogInterval rate-limits the sweep progress log line.
+const progressLogInterval = time.Second
+
 // Sweep evaluates every scenario against the engine, fanning out over
 // up to workers goroutines (<= 0 means all CPUs). Outcomes are in
 // input order; a failed scenario fails its slot, not the sweep.
@@ -27,8 +39,12 @@ type Outcome struct {
 // Canceling ctx stops the sweep at the next chunk grant; slots whose
 // evaluation never ran (or was itself canceled mid-flight) report
 // ctx.Err() in Outcome.Err, so the slice length always matches scs.
+//
+// Progress is observational only: workers bump an atomic counter
+// feeding the scenario_sweep_progress gauge and a rate-limited slog
+// line; completion order never influences where results land.
 func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outcome {
-	_, sp := obs.Trace(ctx, "scenario.sweep")
+	ctx, sp := obs.Trace(ctx, "scenario.sweep")
 	sp.SetWorkers(par.Workers(workers))
 	sp.SetItems(int64(len(scs)))
 	defer sp.End()
@@ -38,8 +54,33 @@ func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outc
 	// read-only (the memo is guarded by sync.Once).
 	snap := eng.snapshot()
 	snap.baseline()
-	out, err := par.MapCtx(ctx, len(scs), workers, func(i int) Outcome {
+
+	total := len(scs)
+	var done atomic.Int64
+	var lastLog atomic.Int64 // unix nanos of the last progress line
+	if total > 0 {
+		sweepProgress.Set(0)
+	}
+	start := time.Now()
+	progress := func() {
+		n := done.Add(1)
+		sweepProgress.Set(float64(n) / float64(total))
+		if n == int64(total) {
+			return // the completion line below covers the last slot
+		}
+		now := time.Now().UnixNano()
+		last := lastLog.Load()
+		if now-last < int64(progressLogInterval) || !lastLog.CompareAndSwap(last, now) {
+			return
+		}
+		slog.Info("scenario sweep progress",
+			"completed", n, "total", total,
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
+	}
+
+	out, err := par.MapCtx(ctx, total, workers, func(i int) Outcome {
 		res, err := eng.evaluateOn(ctx, snap, scs[i])
+		progress()
 		if err != nil {
 			return Outcome{Err: err.Error()}
 		}
@@ -51,6 +92,11 @@ func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outc
 				out[i] = Outcome{Err: err.Error()}
 			}
 		}
+	}
+	if total > 0 {
+		slog.Info("scenario sweep finished",
+			"completed", done.Load(), "total", total,
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 	return out
 }

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
+	"intertubes/internal/obs"
 	"intertubes/internal/scenario"
 )
 
@@ -48,6 +50,19 @@ func (s *Server) decodeError(w http.ResponseWriter, err error) {
 	s.writeError(w, http.StatusBadRequest, err.Error())
 }
 
+// startScenarioTrace opens a recorded trace for one scenario request
+// and stamps its ID on the response, so a client can fetch the
+// evaluation's span tree from /api/traces/{id} afterwards. The header
+// is set before the handler writes anything; an unrecorded request
+// (recorder disabled) gets no header.
+func startScenarioTrace(ctx context.Context, w http.ResponseWriter, name string) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartTrace(ctx, name)
+	if id := sp.TraceID(); id != "" {
+		w.Header().Set("X-Trace-Id", id)
+	}
+	return ctx, sp
+}
+
 // handleScenario evaluates a posted scenario and serves the Result.
 func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	sc, err := decodeScenario(w, r)
@@ -55,7 +70,9 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		s.decodeError(w, err)
 		return
 	}
-	res, err := s.study.Scenarios().Eval(r.Context(), sc)
+	ctx, sp := startScenarioTrace(r.Context(), w, "http.scenario")
+	defer sp.End()
+	res, err := s.study.Scenarios().Eval(ctx, sc)
 	if err != nil {
 		s.scenarioError(w, r, err)
 		return
@@ -71,7 +88,9 @@ func (s *Server) handleScenarioReport(w http.ResponseWriter, r *http.Request) {
 		s.decodeError(w, err)
 		return
 	}
-	res, err := s.study.Scenarios().Eval(r.Context(), sc)
+	ctx, sp := startScenarioTrace(r.Context(), w, "http.scenario.report")
+	defer sp.End()
+	res, err := s.study.Scenarios().Eval(ctx, sc)
 	if err != nil {
 		s.scenarioError(w, r, err)
 		return

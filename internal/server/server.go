@@ -235,18 +235,20 @@ func (s *Server) registerRoutes() {
 	s.handle("GET /api/figures/{name}", s.handleFigure)
 	s.handle("GET /api/annotated", s.handleAnnotated)
 	s.handle("GET /api/resilience", s.handleResilience)
+	s.handle("GET /api/traces", s.handleTraces)
+	s.handle("GET /api/traces/{id}", s.handleTrace)
 	s.handle("POST /api/scenario", s.limited(s.handleScenario))
 	s.handle("POST /api/scenario/report", s.limited(s.handleScenarioReport))
 	s.handle("GET /api/scenarios", s.handleScenarios)
 	s.handle("GET /geojson/{layer}", s.handleGeoJSON)
 }
 
-// handleMetrics serves the obs registry in Prometheus text format:
-// HTTP route metrics, study stage durations, and internal/par pool
-// activity.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	obs.WritePrometheus(w)
+// handleMetrics serves the obs registry: HTTP route metrics, study
+// stage durations, runtime gauges, and internal/par pool activity.
+// Classic Prometheus 0.0.4 text by default; the OpenMetrics rendering
+// (with trace-ID exemplars) under an openmetrics Accept header.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	obs.ServeMetrics(w, r)
 }
 
 // handleBuildReport serves the per-stage build report, both as

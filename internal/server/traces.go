@@ -1,0 +1,49 @@
+package server
+
+import (
+	"net/http"
+
+	"intertubes/internal/obs"
+)
+
+// traces.go serves the flight recorder: GET /api/traces lists the
+// retained evaluations (N most recent + N slowest), GET
+// /api/traces/{id} returns one span tree — as structured JSON, or as
+// Chrome trace-event JSON (?format=chrome) that loads directly into
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Scenario responses
+// carry the matching ID in X-Trace-Id.
+
+// handleTraces serves the trace index, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, map[string]any{
+		"enabled": obs.DefaultTraces.Enabled(),
+		"traces":  obs.DefaultTraces.Index(),
+	})
+}
+
+// handleTrace serves one retained trace by ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := obs.DefaultTraces.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown or evicted trace "+id)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.writeJSON(w, tr)
+	case "chrome":
+		buf, err := tr.ChromeTrace()
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "trace rendering failed")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace-`+id+`.json"`)
+		if _, err := w.Write(buf); err != nil {
+			s.reportWriteError(err)
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "format must be json or chrome")
+	}
+}
