@@ -718,6 +718,48 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkGridSweep times the batch subsystem's workload: plan the
+// exhaustive disaster grid, sweep every cell, reduce each outcome, and
+// assemble the GeoJSON heatmap — one full sweep job minus checkpoint
+// I/O. cmd/benchjson derives cells/sec from the "cells" metric; that
+// is the headline throughput of the jobs subsystem.
+func BenchmarkGridSweep(b *testing.B) {
+	sharedStudy()
+	eng := scenario.New(benchRes, benchMx, scenario.Options{Seed: 42})
+	plan, version, err := eng.PlanGrid(scenario.GridSpec{CellKm: 500, RadiiKm: []float64{100, 250}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	scs := make([]scenario.Scenario, len(plan.Cells))
+	for i, c := range plan.Cells {
+		scs[i] = c.Scenario()
+	}
+	warm := scenario.Sweep(ctx, eng, scs[:1], 1)
+	if warm[0].Err != "" {
+		b.Fatal(warm[0].Err)
+	}
+	var artifact []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := scenario.Sweep(ctx, eng, scs, 0)
+		cells := make([]scenario.CellOutcome, len(outs))
+		for j := range outs {
+			if outs[j].Err != "" {
+				b.Fatal(outs[j].Err)
+			}
+			cells[j] = scenario.ReduceCell(plan.Cells[j], outs[j])
+		}
+		if artifact, err = scenario.BuildHeatmap(plan.Geom(), version, cells).GeoJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(artifact) == 0 {
+		b.Fatal("empty artifact")
+	}
+	b.ReportMetric(float64(len(plan.Cells)), "cells")
+}
+
 // BenchmarkScenarioSweep times the full disaster-grid batch through
 // Sweep at all CPUs, per path; scenarios/op normalizes the grid size.
 func BenchmarkScenarioSweep(b *testing.B) {

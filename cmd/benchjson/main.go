@@ -59,6 +59,7 @@ func run(args []string, in io.Reader, errOut io.Writer) error {
 		return err
 	}
 	deriveOverheadRatios(sum)
+	deriveCellRates(sum)
 	raw, err := json.MarshalIndent(sum, "", " ")
 	if err != nil {
 		return err
@@ -149,6 +150,19 @@ func deriveOverheadRatios(sum *Summary) {
 			N:       r.N,
 			Metrics: map[string]float64{"ratio": onNs / offNs},
 		})
+	}
+}
+
+// deriveCellRates folds a "cells/s" metric into every benchmark that
+// reports a "cells" count (the grid-sweep benchmarks): the cells per
+// iteration over the seconds per iteration. That is the jobs
+// subsystem's headline throughput, read straight off BENCH_obs.json.
+func deriveCellRates(sum *Summary) {
+	for _, r := range sum.Benchmarks {
+		cells, ns := r.Metrics["cells"], r.Metrics["ns/op"]
+		if cells > 0 && ns > 0 {
+			r.Metrics["cells/s"] = cells / (ns / 1e9)
+		}
 	}
 }
 

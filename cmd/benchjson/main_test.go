@@ -189,6 +189,25 @@ func TestDeriveOverheadRatiosEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDeriveCellRates pins the grid-sweep throughput derivation: a
+// benchmark reporting a "cells" count gains a "cells/s" metric from
+// its ns/op; results without the count are untouched.
+func TestDeriveCellRates(t *testing.T) {
+	sum := &Summary{Benchmarks: []Result{
+		{Package: "intertubes", Name: "BenchmarkGridSweep", N: 3,
+			Metrics: map[string]float64{"ns/op": 2e9, "cells": 50}},
+		{Package: "intertubes", Name: "BenchmarkFigure8_Hamming", N: 100,
+			Metrics: map[string]float64{"ns/op": 1e6}},
+	}}
+	deriveCellRates(sum)
+	if got := sum.Benchmarks[0].Metrics["cells/s"]; got != 25 {
+		t.Errorf("cells/s = %v, want 25", got)
+	}
+	if _, ok := sum.Benchmarks[1].Metrics["cells/s"]; ok {
+		t.Errorf("cells/s derived without a cells count: %+v", sum.Benchmarks[1])
+	}
+}
+
 func TestRunWritesFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	stream := `{"Action":"output","Package":"p","Output":"BenchmarkX-2 5 100 ns/op\n"}`

@@ -7,6 +7,7 @@
 //	fibermapd [-addr :8080] [-seed 42] [-probes 100000]
 //	          [-log-level info] [-v] [-timings] [-debug-addr :6060]
 //	          [-scenario-inflight 8] [-scenario-queue 16]
+//	          [-jobs-dir /var/lib/fibermapd/jobs] [-jobs-workers 0]
 //
 // The server builds the full study at startup (a few seconds) and then
 // serves immutable results; SIGINT/SIGTERM drain connections
@@ -15,7 +16,11 @@
 // study is ready; -debug-addr starts a second listener with pprof,
 // expvar, and the Prometheus metrics. -scenario-inflight and
 // -scenario-queue tune the admission limiter on the scenario routes
-// (overflow is shed with 429 + Retry-After).
+// (overflow is shed with 429 + Retry-After). -jobs-dir persists the
+// batch sweep job store's checkpoints there, so a sweep interrupted by
+// a restart resumes where it left off; without it jobs run in memory
+// only. -jobs-workers sets the sweep's per-batch worker count
+// (0 = all CPUs; artifacts are identical at any count).
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"intertubes/internal/jobs"
 	"intertubes/internal/obs"
 	"intertubes/internal/server"
 
@@ -41,14 +47,18 @@ import (
 
 func main() {
 	logger := obs.Logger("fibermapd")
-	srv, debugSrv, err := setup(os.Args[1:], logger)
+	srv, debugSrv, cleanup, err := setup(os.Args[1:], logger)
 	if err != nil {
 		logger.Error("setup failed", "err", err)
 		os.Exit(1)
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	os.Exit(serve(srv, debugSrv, logger, stop))
+	code := serve(srv, debugSrv, logger, stop)
+	// Listeners are drained; park any in-flight sweep behind its final
+	// checkpoint so the next start resumes it.
+	cleanup()
+	os.Exit(code)
 }
 
 // listenerErr tags a listener failure with which listener it was, so
@@ -114,8 +124,11 @@ func serve(srv, debugSrv *http.Server, logger *slog.Logger, stop <-chan os.Signa
 
 // setup parses flags, builds the study, and returns the configured but
 // not-yet-listening API server plus, when -debug-addr is set, a debug
-// server exposing pprof, expvar, and /metrics.
-func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, error) {
+// server exposing pprof, expvar, and /metrics. The cleanup function
+// releases the job store after the listeners drain — for a persistent
+// store that is the moment the in-flight sweep parks behind its final
+// checkpoint.
+func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, func(), error) {
 	fs := flag.NewFlagSet("fibermapd", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", ":8080", "listen address")
@@ -128,12 +141,14 @@ func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, erro
 		debugAddr = fs.String("debug-addr", "", "optional listen address for pprof/expvar/metrics (e.g. :6060); empty disables")
 		inFlight  = fs.Int("scenario-inflight", server.DefaultScenarioInFlight, "max concurrently evaluating scenario requests")
 		queue     = fs.Int("scenario-queue", server.DefaultScenarioQueue, "scenario requests allowed to wait for a slot before 429 shedding")
+		jobsDir   = fs.String("jobs-dir", "", "checkpoint directory for the batch sweep job store; sweeps resume across restarts (empty = in-memory only)")
+		jobsWkrs  = fs.Int("jobs-workers", 0, "worker pool for batch sweep evaluation (0 = all CPUs; artifacts identical at any count)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := obs.ConfigureLogging(*verbose, *logLevel); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// Runtime gauges (GC pauses, heap, goroutines, sched latency) ride
@@ -144,10 +159,33 @@ func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, erro
 	logger.Info("building study", "seed", *seed, "probes", *probes)
 	start := time.Now()
 	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes, Workers: *workers})
+
+	// A -jobs-dir (or explicit worker count) gets a store built here so
+	// its checkpoints outlive the process; otherwise the server owns a
+	// default in-memory store and Close releases it either way.
+	var store *jobs.Store
+	if *jobsDir != "" || *jobsWkrs != 0 {
+		var err error
+		store, err = jobs.NewStore(study.Scenarios().Engine(),
+			jobs.Options{Dir: *jobsDir, Workers: *jobsWkrs})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("job store: %w", err)
+		}
+		if *jobsDir != "" {
+			logger.Info("job store ready", "dir", *jobsDir, "recovered", len(store.List()))
+		}
+	}
 	handler := server.NewWithConfig(study, logger, server.Config{
 		ScenarioInFlight: *inFlight,
 		ScenarioQueue:    *queue,
+		Jobs:             store,
 	})
+	cleanup := func() {
+		handler.Close()
+		if store != nil {
+			store.Close()
+		}
+	}
 	logger.Info("study ready", "elapsed", time.Since(start).Round(time.Millisecond))
 	if *timings {
 		fmt.Fprint(os.Stderr, study.BuildReport())
@@ -160,7 +198,7 @@ func setup(args []string, logger *slog.Logger) (*http.Server, *http.Server, erro
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	return srv, debugServer(*debugAddr), nil
+	return srv, debugServer(*debugAddr), cleanup, nil
 }
 
 // debugServer wires the opt-in diagnostics listener: net/http/pprof,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -22,10 +23,11 @@ func quietLogger(t *testing.T) {
 
 func TestSetup(t *testing.T) {
 	quietLogger(t)
-	srv, debugSrv, err := setup([]string{"-addr", ":9999", "-probes", "2000"}, obs.Logger("test"))
+	srv, debugSrv, cleanup, err := setup([]string{"-addr", ":9999", "-probes", "2000"}, obs.Logger("test"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cleanup()
 	if srv.Addr != ":9999" {
 		t.Errorf("addr = %q", srv.Addr)
 	}
@@ -48,8 +50,75 @@ func TestSetup(t *testing.T) {
 
 func TestSetupBadFlags(t *testing.T) {
 	quietLogger(t)
-	if _, _, err := setup([]string{"-bogus"}, obs.Logger("test")); err == nil {
+	if _, _, _, err := setup([]string{"-bogus"}, obs.Logger("test")); err == nil {
 		t.Error("expected flag error")
+	}
+}
+
+// TestSetupJobsDir pins the persistent-store wiring: with -jobs-dir,
+// a sweep submitted over HTTP leaves a checkpoint file behind, and the
+// cleanup function shuts the store down without losing it.
+func TestSetupJobsDir(t *testing.T) {
+	quietLogger(t)
+	dir := t.TempDir()
+	srv, _, cleanup, err := setup(
+		[]string{"-probes", "2000", "-jobs-dir", dir, "-jobs-workers", "2"},
+		obs.Logger("test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler)
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/api/jobs/sweep", "application/json",
+		strings.NewReader(`{"cellKm": 500, "radiiKm": [80]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d, id %q, err %v", resp.StatusCode, st.ID, err)
+	}
+
+	// Wait for the sweep to finish, then park the store.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/api/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got struct {
+			State string `json:"state"`
+			Err   string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == "done" {
+			break
+		}
+		if got.State == "failed" || got.State == "canceled" {
+			t.Fatalf("job ended %s (%s)", got.State, got.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	cleanup()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.Contains(entries[0].Name(), st.ID) {
+		t.Errorf("checkpoint dir after shutdown: %v", entries)
 	}
 }
 

@@ -8,12 +8,21 @@
 //	whatif -preset gulf-hurricane
 //	whatif -file scenario.json [-json]
 //	whatif -list-presets
+//	whatif -grid 400 -grid-radii 100,250 [-grid-format geojson] [-grid-out heat.json]
 //
 // A scenario file is the JSON form of scenario.Scenario, e.g.:
 //
 //	{"name": "gulf plus level3 exit",
 //	 "preset": "gulf-hurricane",
 //	 "removeISPs": ["Level 3"]}
+//
+// -grid switches to the exhaustive disaster-grid sweep: every cell of a
+// CellKm-spaced lattice over the mapped conduits, crossed with the
+// -grid-radii ladder, evaluated through an in-memory job store — the
+// same machinery fibermapd serves at POST /api/jobs/sweep, minus the
+// checkpoint directory. The artifact is the ASCII severity raster
+// (-grid-format grid, the default) or the GeoJSON FeatureCollection
+// (-grid-format geojson), written to -grid-out or stdout.
 package main
 
 import (
@@ -23,8 +32,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"intertubes"
+	"intertubes/internal/jobs"
 	"intertubes/internal/obs"
 	"intertubes/internal/scenario"
 )
@@ -49,6 +61,10 @@ func run(args []string, out io.Writer) error {
 		verbose     = fs.Bool("v", false, "shorthand for -log-level debug")
 		timings     = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
 		traceOut    = fs.String("trace", "", "write the evaluation's Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
+		gridCell    = fs.Float64("grid", 0, "run an exhaustive disaster-grid sweep with this lattice spacing in km (0 = off)")
+		gridRadii   = fs.String("grid-radii", "100,250", "comma-separated disaster-radius ladder in km for -grid")
+		gridFormat  = fs.String("grid-format", "grid", "grid artifact format: grid (ASCII raster) or geojson")
+		gridOut     = fs.String("grid-out", "", "write the grid artifact to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +78,22 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%-16s %s\n", sc.Name, describe(sc))
 		}
 		return nil
+	}
+
+	if *gridCell != 0 {
+		if *preset != "" || *file != "" {
+			return fmt.Errorf("-grid is a whole-map sweep; it cannot be combined with -preset or -file")
+		}
+		radii, err := parseRadii(*gridRadii)
+		if err != nil {
+			return err
+		}
+		if *gridFormat != "grid" && *gridFormat != "geojson" {
+			return fmt.Errorf("-grid-format must be grid or geojson (got %q)", *gridFormat)
+		}
+		study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Workers: *workers})
+		spec := scenario.GridSpec{CellKm: *gridCell, RadiiKm: radii}
+		return runGrid(study, spec, *workers, *gridFormat, *gridOut, out)
 	}
 
 	sc, err := loadScenario(*preset, *file)
@@ -98,6 +130,71 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, study.BuildReport())
 	}
 	return nil
+}
+
+// parseRadii parses the -grid-radii comma list; validation beyond
+// syntax is the spec's job.
+func parseRadii(s string) ([]float64, error) {
+	var radii []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-grid-radii: bad radius %q: %w", part, err)
+		}
+		radii = append(radii, r)
+	}
+	if len(radii) == 0 {
+		return nil, fmt.Errorf("-grid-radii: at least one radius required")
+	}
+	return radii, nil
+}
+
+// runGrid runs the sweep through an in-memory job store — the exact
+// path fibermapd's batch lane takes, so the CLI artifact is
+// byte-identical to what GET /api/jobs/{id}/result would serve for the
+// same spec and seed, at any worker count.
+func runGrid(study *intertubes.Study, spec scenario.GridSpec, workers int, format, outPath string, out io.Writer) error {
+	store, err := jobs.NewStore(study.Scenarios().Engine(), jobs.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	st, err := store.Submit(spec)
+	if err != nil {
+		return err
+	}
+	if st, err = store.Wait(st.ID); err != nil {
+		return err
+	}
+	if st.State != jobs.StateDone {
+		return fmt.Errorf("grid sweep %s ended %s: %s", st.ID, st.State, st.Err)
+	}
+	h, err := store.Heatmap(st.ID)
+	if err != nil {
+		return err
+	}
+
+	var raw []byte
+	switch format {
+	case "grid":
+		raw = []byte(h.RenderGrid())
+	case "geojson":
+		if raw, err = h.GeoJSON(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-grid-format must be grid or geojson (got %q)", format)
+	}
+	if outPath != "" {
+		return os.WriteFile(outPath, raw, 0o644)
+	}
+	_, err = out.Write(raw)
+	return err
 }
 
 // writeTrace renders the recorded evaluation as Chrome trace-event

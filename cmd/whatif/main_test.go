@@ -105,6 +105,58 @@ func TestRunTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRunGridGeoJSON pins the -grid local mode end to end: a small
+// sweep runs through the in-memory job store and lands a complete
+// GeoJSON FeatureCollection in -grid-out. The duplicate radius
+// exercises spec canonicalization on the CLI path.
+func TestRunGridGeoJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "heat.json")
+	var out strings.Builder
+	err := run([]string{
+		"-grid", "500", "-grid-radii", "80, 80",
+		"-grid-format", "geojson", "-grid-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Type      string `json:"type"`
+		Total     int    `json:"total"`
+		Completed int    `json:"completed"`
+		Features  []any  `json:"features"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if doc.Type != "FeatureCollection" || doc.Total == 0 ||
+		doc.Completed != doc.Total || len(doc.Features) != doc.Total {
+		t.Errorf("artifact %s: %d features, completed %d/%d",
+			doc.Type, len(doc.Features), doc.Completed, doc.Total)
+	}
+	if out.Len() != 0 {
+		t.Errorf("-grid-out set but stdout got %d bytes", out.Len())
+	}
+}
+
+// TestRunGridFlagErrors covers the fail-fast rejections — none of
+// these should get as far as building a study.
+func TestRunGridFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"with-preset": {"-grid", "500", "-preset", "top12-cut"},
+		"bad-radii":   {"-grid", "500", "-grid-radii", "80,oops"},
+		"no-radii":    {"-grid", "500", "-grid-radii", " , "},
+		"bad-format":  {"-grid", "500", "-grid-format", "png"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
 func TestRunNoScenario(t *testing.T) {
 	if err := run(nil, &strings.Builder{}); err == nil {
 		t.Error("expected an error when nothing is selected")

@@ -1,0 +1,112 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+
+	"intertubes/internal/scenario"
+)
+
+func validCheckpoint() *Checkpoint {
+	spec := scenario.GridSpec{CellKm: 200, RadiiKm: []float64{50, 100}}
+	spec = scenario.GridSpec{CellKm: spec.CellKm, RadiiKm: spec.RadiiKm, CullKm: 100}
+	return &Checkpoint{
+		V:               1,
+		ID:              "sweep-abc-v1",
+		Geom:            scenario.GridGeom{Hash: spec.Hash(), Spec: spec, Rows: 3, Cols: 4, Total: 10},
+		BaselineVersion: 1,
+		State:           StateRunning,
+		Cells: []scenario.CellOutcome{
+			{Index: 0}, {Index: 7, MeanDisconnection: 0.25},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := validCheckpoint()
+	data, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != cp.ID || got.Geom.Hash != cp.Geom.Hash || got.Geom.Total != cp.Geom.Total ||
+		got.State != cp.State || len(got.Cells) != 2 {
+		t.Errorf("round trip mangled checkpoint: %+v", got)
+	}
+	// Encoding is deterministic for identical content.
+	data2, err := EncodeCheckpoint(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("checkpoint encoding is not deterministic")
+	}
+}
+
+func TestCheckpointDecodeRejections(t *testing.T) {
+	mutate := func(f func(*Checkpoint)) []byte {
+		cp := validCheckpoint()
+		f(cp)
+		data, err := EncodeCheckpoint(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		"not json":        []byte("{"),
+		"wrong version":   mutate(func(c *Checkpoint) { c.V = 2 }),
+		"missing id":      mutate(func(c *Checkpoint) { c.ID = "" }),
+		"bad spec":        mutate(func(c *Checkpoint) { c.Geom.Spec.CellKm = -1 }),
+		"hash mismatch":   mutate(func(c *Checkpoint) { c.Geom.Hash = strings.Repeat("0", 32) }),
+		"bad state":       mutate(func(c *Checkpoint) { c.State = "exploded" }),
+		"zero lattice":    mutate(func(c *Checkpoint) { c.Geom.Rows = 0 }),
+		"over capacity":   mutate(func(c *Checkpoint) { c.Geom.Total = 1000 }),
+		"too many cells":  mutate(func(c *Checkpoint) { c.Geom.Total = 1 }),
+		"index range":     mutate(func(c *Checkpoint) { c.Cells[1].Index = 10 }),
+		"negative index":  mutate(func(c *Checkpoint) { c.Cells[0].Index = -1 }),
+		"duplicate index": mutate(func(c *Checkpoint) { c.Cells[1].Index = 0 }),
+	}
+	for name, data := range cases {
+		if _, err := DecodeCheckpoint(data); err == nil {
+			t.Errorf("%s: decode accepted an invalid checkpoint", name)
+		}
+	}
+}
+
+func TestCheckpointPathRejectsTraversal(t *testing.T) {
+	for _, id := range []string{"", ".", "..", "a/b", `a\b`} {
+		if _, err := checkpointPath("/tmp", id); err == nil {
+			t.Errorf("checkpointPath accepted id %q", id)
+		}
+	}
+}
+
+// FuzzCheckpointDecode hammers the resume trust boundary: arbitrary
+// bytes must either decode into a checkpoint that re-encodes and
+// re-decodes cleanly, or be rejected — never panic, never round-trip
+// into something invalid. scripts/fuzz.sh auto-discovers this target.
+func FuzzCheckpointDecode(f *testing.F) {
+	if seed, err := EncodeCheckpoint(validCheckpoint()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"v":1}`))
+	f.Add([]byte(`{"v":1,"id":"x","geom":{"hash":"","spec":{"cellKm":1,"radiiKm":[1]},"rows":1,"cols":1,"total":1},"state":"pending","cells":[]}`))
+	f.Add([]byte("null"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeCheckpoint(cp)
+		if err != nil {
+			t.Fatalf("decoded checkpoint failed to encode: %v", err)
+		}
+		if _, err := DecodeCheckpoint(out); err != nil {
+			t.Fatalf("re-encoded checkpoint failed validation: %v", err)
+		}
+	})
+}

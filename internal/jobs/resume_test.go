@@ -1,0 +1,225 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"intertubes/internal/scenario"
+)
+
+// resume_test.go is the tentpole acceptance test: a sweep job killed
+// mid-flight (simulated process shutdown), restarted from its on-disk
+// checkpoint in a brand-new store at a different worker count, must
+// emit a final GeoJSON heatmap byte-identical to an uninterrupted run.
+
+func resumeSpec() scenario.GridSpec {
+	return scenario.GridSpec{CellKm: 350, RadiiKm: []float64{60, 140}}
+}
+
+func TestCrashResumeByteIdenticalGeoJSON(t *testing.T) {
+	dir := t.TempDir()
+	const batch = 3
+
+	// Reference: an uninterrupted run, workers=1, no persistence.
+	refEng := newEngine(t, 0)
+	refStore, err := NewStore(refEng, Options{Workers: 1, CheckpointEvery: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSt, err := refStore.Submit(resumeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSt.Total <= 2*batch {
+		t.Fatalf("grid too small to interrupt meaningfully: %d cells", refSt.Total)
+	}
+	if fin, err := refStore.Wait(refSt.ID); err != nil || fin.State != StateDone {
+		t.Fatalf("reference run: %+v, %v", fin, err)
+	}
+	refHeat, err := refStore.Heatmap(refSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := refHeat.GeoJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStore.Close()
+
+	// Run A: workers=2, persistent. The eval hook lets exactly the
+	// first checkpoint batch through, then parks every later job
+	// evaluation until shutdown cancels it — a deterministic
+	// mid-flight kill via the existing fault harness.
+	engA := newEngine(t, 0)
+	var evals atomic.Int64
+	engA.SetEvalHook(func(ctx context.Context) {
+		if _, ok := JobIDFromContext(ctx); !ok {
+			return
+		}
+		if evals.Add(1) > batch {
+			<-ctx.Done()
+		}
+	})
+	storeA, err := NewStore(engA, Options{Dir: dir, Workers: 2, CheckpointEvery: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, err := storeA.Submit(resumeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.ID != refSt.ID {
+		t.Fatalf("job IDs diverge across stores: %s vs %s", stA.ID, refSt.ID)
+	}
+	ch, detach, err := storeA.Subscribe(stA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first checkpointed chunk, then simulate the process
+	// dying: Close interrupts the running sweep with ErrShutdown.
+	for ev := range ch {
+		if len(ev.Cells) > 0 {
+			break
+		}
+	}
+	storeA.Close()
+	detach()
+	engA.SetEvalHook(nil)
+
+	cpPath := filepath.Join(dir, stA.ID+".json")
+	data, err := os.ReadFile(cpPath)
+	if err != nil {
+		t.Fatalf("no checkpoint after shutdown: %v", err)
+	}
+	cp, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.State.terminal() {
+		t.Fatalf("parked checkpoint is terminal: %s", cp.State)
+	}
+	if len(cp.Cells) < batch || len(cp.Cells) >= cp.Geom.Total {
+		t.Fatalf("checkpoint has %d of %d cells; want a partial >= %d",
+			len(cp.Cells), cp.Geom.Total, batch)
+	}
+
+	// Run B: a fresh process (new engine, new store, same directory) at
+	// a different worker count. Recovery re-queues the parked job; the
+	// runner evaluates only the missing cells.
+	engB := newEngine(t, 0)
+	var evalsB atomic.Int64
+	engB.SetEvalHook(func(ctx context.Context) {
+		if _, ok := JobIDFromContext(ctx); ok {
+			evalsB.Add(1)
+		}
+	})
+	defer engB.SetEvalHook(nil)
+	storeB, err := NewStore(engB, Options{Dir: dir, Workers: 5, CheckpointEvery: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer storeB.Close()
+
+	finB, err := storeB.Wait(stA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finB.State != StateDone {
+		t.Fatalf("resumed job ended %s (%s)", finB.State, finB.Err)
+	}
+	if finB.Resumed != len(cp.Cells) {
+		t.Errorf("Resumed = %d, checkpoint had %d cells", finB.Resumed, len(cp.Cells))
+	}
+	if got, want := evalsB.Load(), int64(finB.Total-finB.Resumed); got != want {
+		t.Errorf("resume evaluated %d cells, want exactly the %d missing ones", got, want)
+	}
+
+	heatB, err := storeB.Heatmap(stA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonB, err := heatB.GeoJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonB, refJSON) {
+		t.Fatal("resumed GeoJSON differs from the uninterrupted reference run")
+	}
+	// The raster artifact rides the same contract.
+	if heatB.RenderGrid() != refHeat.RenderGrid() {
+		t.Fatal("resumed ASCII raster differs from the uninterrupted reference run")
+	}
+
+	// The terminal checkpoint on disk is also final and decodable.
+	data, err = os.ReadFile(cpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.State != StateDone || len(cp2.Cells) != cp2.Geom.Total {
+		t.Errorf("terminal checkpoint: state %s, %d/%d cells",
+			cp2.State, len(cp2.Cells), cp2.Geom.Total)
+	}
+}
+
+// TestRecoverDiscardsStaleBaseline pins the safety rule: checkpointed
+// cells from a different baseline version are discarded, not mixed
+// into the artifact.
+func TestRecoverDiscardsStaleBaseline(t *testing.T) {
+	dir := t.TempDir()
+	eng := newEngine(t, 0)
+
+	plan, _, err := eng.PlanGrid(resumeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a parked checkpoint claiming a baseline this engine never
+	// had, with one bogus completed cell.
+	id := "sweep-" + plan.Hash[:12] + "-v1"
+	cp := &Checkpoint{
+		V:               1,
+		ID:              id,
+		Geom:            plan.Geom(),
+		BaselineVersion: 999,
+		State:           StatePending,
+		Cells: []scenario.CellOutcome{{
+			Index: 0, Lat: plan.Cells[0].Lat, Lon: plan.Cells[0].Lon,
+			RadiusKm: plan.Cells[0].RadiusKm, MeanDisconnection: 0.999,
+		}},
+	}
+	if err := writeCheckpoint(dir, cp); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewStore(eng, Options{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fin, err := s.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job ended %s (%s)", fin.State, fin.Err)
+	}
+	h, err := s.Heatmap(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.BaselineVersion != eng.BaselineVersion() {
+		t.Errorf("artifact pinned v%d, engine baseline is v%d", h.BaselineVersion, eng.BaselineVersion())
+	}
+	for _, c := range h.Cells {
+		if c.MeanDisconnection == 0.999 {
+			t.Fatal("stale checkpointed cell survived a baseline change")
+		}
+	}
+}

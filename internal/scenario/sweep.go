@@ -2,7 +2,7 @@ package scenario
 
 import (
 	"context"
-	"log/slog"
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -17,10 +17,22 @@ import (
 // at their input index (ordered reduce, never completion order).
 
 // Outcome pairs one sweep slot with its evaluation error; exactly one
-// of Result/Err is set.
+// of Result/Err is set. Canceled distinguishes a slot that never
+// completed because the sweep's context ended — the evaluation either
+// never started or was stopped mid-flight — from a deterministic
+// evaluation failure. It is a stable machine-readable marker: the job
+// store checkpoints failed slots (they fail identically on re-run)
+// but re-runs canceled ones, without string-matching ctx.Err() text.
 type Outcome struct {
-	Result *Result `json:"result,omitempty"`
-	Err    string  `json:"err,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+	Err      string  `json:"err,omitempty"`
+	Canceled bool    `json:"canceled,omitempty"`
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline expiry.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // sweepProgress is the live completed/total ratio of the most recent
@@ -60,6 +72,11 @@ func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outc
 	var lastLog atomic.Int64 // unix nanos of the last progress line
 	if total > 0 {
 		sweepProgress.Set(0)
+		// Settle the gauge no matter how the sweep ends: a canceled
+		// sweep must not leave a frozen partial fraction that reads as
+		// forever-in-progress. 1 is the idle-after-a-sweep value the
+		// completion path also converges to.
+		defer sweepProgress.Set(1)
 	}
 	start := time.Now()
 	progress := func() {
@@ -73,7 +90,7 @@ func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outc
 		if now-last < int64(progressLogInterval) || !lastLog.CompareAndSwap(last, now) {
 			return
 		}
-		slog.Info("scenario sweep progress",
+		obs.Logger("scenario").Info("sweep progress",
 			"completed", n, "total", total,
 			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
@@ -82,19 +99,20 @@ func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outc
 		res, err := eng.evaluateOn(ctx, snap, scs[i])
 		progress()
 		if err != nil {
-			return Outcome{Err: err.Error()}
+			return Outcome{Err: err.Error(), Canceled: isCancellation(err)}
 		}
 		return Outcome{Result: res}
 	})
 	if err != nil {
+		canceled := isCancellation(err)
 		for i := range out {
 			if out[i].Result == nil && out[i].Err == "" {
-				out[i] = Outcome{Err: err.Error()}
+				out[i] = Outcome{Err: err.Error(), Canceled: canceled}
 			}
 		}
 	}
 	if total > 0 {
-		slog.Info("scenario sweep finished",
+		obs.Logger("scenario").Info("sweep finished",
 			"completed", done.Load(), "total", total,
 			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	}

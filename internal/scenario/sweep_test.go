@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"intertubes/internal/fiber"
@@ -59,6 +60,11 @@ func TestSweepOutcomeOrderAndErrors(t *testing.T) {
 			if o.Err == "" || o.Result != nil {
 				t.Errorf("slot %d: expected error outcome, got %+v", i, o)
 			}
+			// A deterministic evaluation failure is not a cancellation:
+			// the job store checkpoints it and must never re-run it.
+			if o.Canceled {
+				t.Errorf("slot %d: deterministic failure marked Canceled", i)
+			}
 			continue
 		}
 		if o.Err != "" || o.Result == nil {
@@ -73,6 +79,54 @@ func TestSweepOutcomeOrderAndErrors(t *testing.T) {
 		if o.Result.Hash != want.Hash() {
 			t.Errorf("slot %d: hash %s, want %s", i, o.Result.Hash, want.Hash())
 		}
+	}
+}
+
+// TestSweepCancelSettlesProgressAndMarksOutcomes pins the two cancel
+// satellites: a canceled sweep must settle scenario_sweep_progress
+// (not freeze it at a partial fraction forever) and must mark every
+// slot that never completed with the machine-readable Canceled flag
+// instead of only stringifying ctx.Err().
+func TestSweepCancelSettlesProgressAndMarksOutcomes(t *testing.T) {
+	eng := newEngine(t, 0)
+	// No deliberately failing slot here: every slot must end as a pure
+	// cancellation so the assertions below hold for all of them.
+	var scs []Scenario
+	for i := 0; i < 8; i++ {
+		scs = append(scs, Scenario{CutConduits: []fiber.ConduitID{fiber.ConduitID(i)}})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	eng.SetEvalHook(func(hctx context.Context) {
+		// First evaluation to reach the hook cancels the sweep; every
+		// hooked evaluation then parks until the cancellation lands, so
+		// no slot can complete. Deterministic — no sleeps.
+		if fired.CompareAndSwap(false, true) {
+			cancel()
+		}
+		<-hctx.Done()
+	})
+	defer eng.SetEvalHook(nil)
+
+	out := Sweep(ctx, eng, scs, 2)
+	if len(out) != len(scs) {
+		t.Fatalf("%d outcomes for %d scenarios", len(out), len(scs))
+	}
+	for i, o := range out {
+		if o.Result != nil {
+			t.Errorf("slot %d: canceled sweep produced a result", i)
+		}
+		if o.Err == "" {
+			t.Errorf("slot %d: canceled slot has empty Err", i)
+		}
+		if !o.Canceled {
+			t.Errorf("slot %d: canceled slot not marked Canceled (err %q)", i, o.Err)
+		}
+	}
+	if got := sweepProgress.Value(); got != 1 {
+		t.Errorf("scenario_sweep_progress after canceled sweep = %g, want 1 (settled)", got)
 	}
 }
 

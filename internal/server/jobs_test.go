@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"intertubes/internal/jobs"
+)
+
+// jobs_test.go exercises the batch lane over HTTP: submit, stream,
+// artifacts, cancel — and the acceptance criterion that interactive
+// scenario routes stay green while a sweep is running.
+
+func postJSON(t *testing.T, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv(t).URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// streamUntilTerminal reads the job's SSE stream until a terminal
+// event (or EOF) and returns the last event seen plus how many cells
+// were streamed in chunks.
+func streamUntilTerminal(t *testing.T, id string) (jobs.Event, int) {
+	t.Helper()
+	resp, err := http.Get(srv(t).URL + "/api/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var last jobs.Event
+	cells := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev jobs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		cells += len(ev.Cells)
+		last = ev
+		if ev.State == jobs.StateDone || ev.State == jobs.StateFailed || ev.State == jobs.StateCanceled {
+			break
+		}
+	}
+	return last, cells
+}
+
+func TestJobsEndToEnd(t *testing.T) {
+	resp, raw := postJSON(t, "/api/jobs/sweep", `{"cellKm": 500, "radiiKm": [80]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Total == 0 {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	// Identical resubmission returns the same job.
+	_, raw2 := postJSON(t, "/api/jobs/sweep", `{"cellKm": 500, "radiiKm": [80]}`)
+	var st2 jobs.Status
+	if err := json.Unmarshal(raw2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != st.ID {
+		t.Errorf("resubmit made a new job: %s vs %s", st2.ID, st.ID)
+	}
+
+	last, _ := streamUntilTerminal(t, st.ID)
+	if last.State != jobs.StateDone {
+		t.Fatalf("job ended %s (%s)", last.State, last.Err)
+	}
+
+	// Status and listing reflect the finished job.
+	resp, raw = get(t, "/api/jobs/"+st.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var got jobs.Status
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != jobs.StateDone || got.Completed != got.Total {
+		t.Errorf("job status %+v", got)
+	}
+	resp, raw = get(t, "/api/jobs")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), st.ID) {
+		t.Errorf("listing (status %d) missing job: %s", resp.StatusCode, raw)
+	}
+
+	// GeoJSON artifact.
+	resp, raw = get(t, "/api/jobs/"+st.ID+"/result?format=geojson")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/geo+json" {
+		t.Errorf("result content type %q", ct)
+	}
+	var doc struct {
+		Type      string `json:"type"`
+		Total     int    `json:"total"`
+		Completed int    `json:"completed"`
+		Features  []any  `json:"features"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Type != "FeatureCollection" || doc.Completed != got.Total || len(doc.Features) != got.Total {
+		t.Errorf("artifact %s: %d features, completed %d, total %d",
+			doc.Type, len(doc.Features), doc.Completed, got.Total)
+	}
+
+	// ASCII raster artifact.
+	resp, raw = get(t, "/api/jobs/"+st.ID+"/result?format=grid")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "disaster grid") {
+		t.Errorf("grid artifact (status %d): %s", resp.StatusCode, raw[:min(len(raw), 120)])
+	}
+	if resp, _ := get(t, "/api/jobs/"+st.ID+"/result?format=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus format status %d", resp.StatusCode)
+	}
+
+	// The admission snapshot rides /api/stats.
+	resp, raw = get(t, "/api/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var stats struct {
+		Service struct {
+			Jobs struct {
+				ByState map[string]int `json:"byState"`
+			} `json:"jobs"`
+		} `json:"service"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Service.Jobs.ByState[string(jobs.StateDone)] == 0 {
+		t.Errorf("stats service section missing done jobs: %s", raw)
+	}
+}
+
+func TestJobsBadRequests(t *testing.T) {
+	if resp, _ := postJSON(t, "/api/jobs/sweep", `{"cellKm": -1, "radiiKm": [80]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec status %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, "/api/jobs/sweep", `{"cellKm": 500, "radiiKm": [80], "nope": 1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d", resp.StatusCode)
+	}
+	for _, path := range []string{
+		"/api/jobs/nope", "/api/jobs/nope/stream", "/api/jobs/nope/result",
+	} {
+		if resp, _ := get(t, path); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	if resp, _ := postJSON(t, "/api/jobs/nope/cancel", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown status %d", resp.StatusCode)
+	}
+}
+
+// TestInteractiveRoutesGreenDuringSweep is the admission acceptance
+// criterion: with a sweep job actively running (its evaluations
+// parked on the fault hook), interactive scenario POSTs still return
+// 200 — the batch lane cannot starve the interactive lane.
+func TestInteractiveRoutesGreenDuringSweep(t *testing.T) {
+	eng := study(t).Scenarios().Engine()
+	started := make(chan struct{})
+	var once sync.Once
+	eng.SetEvalHook(func(ctx context.Context) {
+		if _, ok := jobs.JobIDFromContext(ctx); !ok {
+			return // interactive evaluation: untouched
+		}
+		once.Do(func() { close(started) })
+		<-ctx.Done() // park every job evaluation until cancel
+	})
+	defer eng.SetEvalHook(nil)
+
+	resp, raw := postJSON(t, "/api/jobs/sweep", `{"cellKm": 500, "radiiKm": [120]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// The sweep is mid-flight and blocked. Interactive routes must be
+	// fully functional.
+	resp, raw = postJSON(t, "/api/scenario", `{"cutConduits": [3]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive scenario during sweep: status %d: %s", resp.StatusCode, raw)
+	}
+	if resp, _ := get(t, "/api/stats"); resp.StatusCode != http.StatusOK {
+		t.Errorf("stats during sweep: status %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, "/api/jobs/"+st.ID); resp.StatusCode != http.StatusOK {
+		t.Errorf("job status during sweep: status %d", resp.StatusCode)
+	}
+
+	// Tear the sweep down so the shared store's runner frees up.
+	if resp, _ := postJSON(t, "/api/jobs/"+st.ID+"/cancel", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	last, _ := streamUntilTerminal(t, st.ID)
+	if last.State != jobs.StateCanceled {
+		t.Errorf("job ended %s after cancel", last.State)
+	}
+}

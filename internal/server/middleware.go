@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"intertubes/internal/jobs"
 )
 
 // middleware.go is the request-lifecycle hardening around the route
@@ -37,6 +39,11 @@ type Config struct {
 	// RetryAfter is the Retry-After value, in seconds, stamped on shed
 	// responses (default 1).
 	RetryAfter int
+	// Jobs injects the batch job store serving /api/jobs/*. Nil builds
+	// a default in-memory store over the study's scenario engine
+	// (Server.Close releases it); fibermapd passes a persistent one so
+	// sweeps checkpoint and resume across restarts.
+	Jobs *jobs.Store
 }
 
 // Default admission bounds: generous enough that an interactive

@@ -32,6 +32,17 @@
 //	GET /api/scenarios              scenario presets + cached results
 //	GET /geojson/{layer}            fibermap | roads | rails | pipelines | annotated
 //
+// The batch lane (internal/jobs) serves long-running grid sweeps on
+// its own serial runner, checkpointed and resumable, without touching
+// the interactive admission limits:
+//
+//	POST /api/jobs/sweep            submit a disaster-grid sweep (idempotent by spec+baseline)
+//	GET  /api/jobs                  job listing + store stats
+//	GET  /api/jobs/{id}             one job's status and progress
+//	POST /api/jobs/{id}/cancel      terminally cancel a job
+//	GET  /api/jobs/{id}/stream      SSE partial results as cell chunks complete
+//	GET  /api/jobs/{id}/result      heatmap artifact (?format=geojson|grid)
+//
 // Every request is measured (count, duration, status, bytes, per
 // route) into the internal/obs registry that /metrics serves.
 package server
@@ -50,6 +61,7 @@ import (
 
 	"intertubes"
 	"intertubes/internal/fiber"
+	"intertubes/internal/jobs"
 	"intertubes/internal/obs"
 )
 
@@ -121,6 +133,8 @@ type Server struct {
 	routes          map[string]*routeMetrics
 	unmatched       *routeMetrics
 	scenarioLimiter *limiter
+	jobs            *jobs.Store
+	ownJobs         bool // store was defaulted here, Close tears it down
 }
 
 // New builds a Server with default middleware Config, eagerly
@@ -143,11 +157,34 @@ func NewWithConfig(study *intertubes.Study, logger *slog.Logger, cfg Config) *Se
 		routes:          make(map[string]*routeMetrics),
 		unmatched:       newRouteMetrics("unmatched"),
 		scenarioLimiter: newLimiter(cfg.ScenarioInFlight, cfg.ScenarioQueue, cfg.RetryAfter),
+		jobs:            cfg.Jobs,
+	}
+	if s.jobs == nil {
+		// Default in-memory store over the study's scenario engine so
+		// the /api/jobs surface always works; fibermapd injects a
+		// persistent one via Config.Jobs for checkpoint/resume.
+		store, err := jobs.NewStore(study.Scenarios().Engine(), jobs.Options{})
+		if err != nil {
+			// NewStore without a directory cannot fail; guard anyway.
+			logger.Error("default job store", "err", err)
+		} else {
+			s.jobs = store
+			s.ownJobs = true
+		}
 	}
 	// Materialize lazy stages up front.
 	study.Robustness()
 	s.registerRoutes()
 	return s
+}
+
+// Close releases resources the server created itself — currently the
+// defaulted in-memory job store. An injected Config.Jobs store stays
+// open; its owner closes it.
+func (s *Server) Close() {
+	if s.ownJobs && s.jobs != nil {
+		s.jobs.Close()
+	}
 }
 
 // ServeHTTP implements http.Handler: every request is wrapped in a
@@ -197,6 +234,11 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer to http.NewResponseController,
+// so streaming handlers (the jobs SSE endpoint) can Flush and clear
+// the write deadline through the recorder.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 func (r *statusRecorder) Write(b []byte) (int, error) {
 	if !r.wroteHeader {
 		// The implicit 200 the underlying writer is about to send.
@@ -241,6 +283,14 @@ func (s *Server) registerRoutes() {
 	s.handle("POST /api/scenario/report", s.limited(s.handleScenarioReport))
 	s.handle("GET /api/scenarios", s.handleScenarios)
 	s.handle("GET /geojson/{layer}", s.handleGeoJSON)
+	if s.jobs != nil {
+		s.handle("POST /api/jobs/sweep", s.handleJobSubmit)
+		s.handle("GET /api/jobs", s.handleJobs)
+		s.handle("GET /api/jobs/{id}", s.handleJob)
+		s.handle("POST /api/jobs/{id}/cancel", s.handleJobCancel)
+		s.handle("GET /api/jobs/{id}/stream", s.handleJobStream)
+		s.handle("GET /api/jobs/{id}/result", s.handleJobResult)
+	}
 }
 
 // handleMetrics serves the obs registry: HTTP route metrics, study
@@ -347,7 +397,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.study.Map().Stats()
+	var service map[string]any
+	if s.jobs != nil {
+		service = s.serviceStats()
+	}
 	s.writeJSON(w, map[string]any{
+		"service":       service,
 		"nodes":         st.Nodes,
 		"links":         st.Links,
 		"conduits":      st.Conduits,
