@@ -349,6 +349,35 @@ func BenchmarkEdgeBetweenness(b *testing.B) {
 	b.ReportMetric(float64(g.NumEdges()), "edges")
 }
 
+// BenchmarkMaxFlow measures the Dinic max-flow kernel over the built
+// map graph with wavelength-derived capacities, cycling source/sink
+// across vertices. Run with -benchmem: the steady-state contract is
+// zero allocs/op (the workspace owns every scratch structure).
+func BenchmarkMaxFlow(b *testing.B) {
+	sharedStudy()
+	m := benchRes.Map
+	g := m.Graph()
+	caps := make([]float64, g.NumEdges())
+	for eid := range caps {
+		caps[eid] = fiber.ConduitCapacityGbps(m, fiber.ConduitID(eid))
+	}
+	ws := graph.NewWorkspace()
+	n := g.NumVertices()
+	g.MaxFlowWS(ws, 0, n/2, caps, nil) // warm: CSR build + workspace growth
+	var total float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % n
+		dst := (i + n/2) % n
+		if src == dst {
+			dst = (dst + 1) % n
+		}
+		total += g.MaxFlowWS(ws, src, dst, caps, nil)
+	}
+	b.ReportMetric(total/float64(b.N), "gbps/op")
+}
+
 // ---- Ablations (design choices called out in DESIGN.md). ----
 
 // BenchmarkAblationBufferWidth sweeps the Figure 4 co-location buffer.
@@ -676,6 +705,39 @@ func BenchmarkScenarioEvaluate(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkScenarioEvaluateCapacity times a circular-disaster
+// evaluation — the workload whose cost the capacity stage (gravity
+// demands + max-flow per touched pair) rides on — per path, on a
+// warmed engine. The lost-gbps metric is the severity the heatmap
+// plots; it is byte-identical across modes by the differential suite.
+func BenchmarkScenarioEvaluateCapacity(b *testing.B) {
+	sharedStudy()
+	loc := benchRes.Map.Node(0).Loc
+	sc := scenario.Scenario{
+		Regions: []scenario.Region{{Lat: loc.Lat, Lon: loc.Lon, RadiusKm: 150}},
+	}
+	ctx := context.Background()
+	for _, mode := range scenarioModes() {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := scenario.New(benchRes, benchMx, scenario.Options{Seed: 42, CloneEval: mode.clone})
+			r, err := eng.Evaluate(ctx, sc) // warm: baseline + capacity memo
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.LostTraffic == nil {
+				b.Fatal("no lost-traffic delta")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r, err = eng.Evaluate(ctx, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.LostTraffic.LostGbps, "lost-gbps")
 		})
 	}
 }

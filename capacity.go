@@ -1,0 +1,68 @@
+package intertubes
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"intertubes/internal/fiber"
+	"intertubes/internal/report"
+	"intertubes/internal/scenario"
+)
+
+// capacity.go exposes the capacity layer at the Study level: the
+// wavelength-derived conduit capacities and the gravity-model traffic
+// matrix (internal/scenario), rendered as the traffic stranded when
+// the §5 target conduits — the most heavily shared — are lost.
+
+// RenderCapacity renders the capacity study: baseline offered and
+// served Gbps under the gravity demand model, the traffic stranded by
+// cutting all target conduits at once, and a per-conduit table of the
+// loss each target causes alone. Evaluations go through the scenario
+// cache, so repeated renders cost one sweep.
+func (s *Study) RenderCapacity() string {
+	targets := s.TargetConduits()
+	scs := make([]scenario.Scenario, 0, len(targets)+1)
+	scs = append(scs, scenario.Scenario{Name: "cut-all-targets", CutConduits: targets})
+	for _, cid := range targets {
+		scs = append(scs, scenario.Scenario{
+			Name:        fmt.Sprintf("cut-conduit-%d", cid),
+			CutConduits: []fiber.ConduitID{cid},
+		})
+	}
+	outs := s.SweepScenarios(context.Background(), scs)
+
+	var b strings.Builder
+	b.WriteString("Capacity study: gravity-model demand vs wavelength-derived conduit capacities\n")
+	all := outs[0].Result
+	if all == nil || all.LostTraffic == nil {
+		fmt.Fprintf(&b, "  evaluation failed: %s\n", outs[0].Err)
+		return b.String()
+	}
+	lt := all.LostTraffic
+	fmt.Fprintf(&b, "  demand pairs:      %d (top population products)\n", lt.Demands)
+	fmt.Fprintf(&b, "  offered:           %.1f Gbps\n", lt.OfferedGbps)
+	fmt.Fprintf(&b, "  served (baseline): %.1f Gbps\n", lt.ServedBeforeGbps)
+	fmt.Fprintf(&b, "  cutting all %d most-shared conduits: served %.1f -> %.1f Gbps, stranded %.1f Gbps\n\n",
+		len(targets), lt.ServedBeforeGbps, lt.ServedAfterGbps, lt.LostGbps)
+
+	t := report.Table{
+		Title:   "Lost traffic per target conduit (cut alone)",
+		Headers: []string{"conduit", "sharing", "length km", "lost Gbps"},
+	}
+	for i, cid := range targets {
+		o := outs[i+1]
+		if o.Result == nil || o.Result.LostTraffic == nil {
+			continue
+		}
+		c := s.res.Map.Conduit(cid)
+		t.AddRow(
+			fmt.Sprintf("%s - %s", s.res.Map.Node(c.A).Key(), s.res.Map.Node(c.B).Key()),
+			s.mx.Sharing(cid),
+			fmt.Sprintf("%.0f", c.LengthKm),
+			fmt.Sprintf("%.1f", o.Result.LostTraffic.LostGbps),
+		)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package intertubes_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderCapacity exercises the capacity study end to end on the
+// shared study: the baseline must serve a nonzero share of the
+// gravity demand, and cutting all target conduits must strand traffic.
+func TestRenderCapacity(t *testing.T) {
+	out := study(t).RenderCapacity()
+	for _, m := range []string{
+		"Capacity study", "offered:", "served (baseline):",
+		"most-shared conduits", "Lost traffic per target conduit",
+	} {
+		if !strings.Contains(out, m) {
+			t.Errorf("missing %q in:\n%s", m, out)
+		}
+	}
+	if strings.Contains(out, "evaluation failed") {
+		t.Fatalf("capacity sweep failed:\n%s", out)
+	}
+	// The per-conduit table has one row per target conduit.
+	if got := strings.Count(out, " - "); got < 5 {
+		t.Errorf("per-conduit table suspiciously small (%d rows):\n%s", got, out)
+	}
+}

@@ -5,9 +5,12 @@
 // Usage:
 //
 //	riskreport [-seed N] [-probes N] [-fig6] [-fig7] [-fig8] [-fig9]
-//	           [-table2] [-table3] [-table4]
+//	           [-table2] [-table3] [-table4] [-capacity]
 //
 // With no selection flags it renders everything in §4 order.
+// -capacity additionally renders the capacity study (gravity-model
+// demand stranded by cutting the most-shared conduits); it is never
+// part of the default set because it sweeps a dozen cut scenarios.
 package main
 
 import (
@@ -40,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		table2   = fs.Bool("table2", false, "Table 2: top west-to-east conduits")
 		table3   = fs.Bool("table3", false, "Table 3: top east-to-west conduits")
 		table4   = fs.Bool("table4", false, "Table 4: top ISPs by conduits carrying probes")
+		capac    = fs.Bool("capacity", false, "capacity study: gravity demand stranded by cutting the most-shared conduits")
 		logLevel = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		verbose  = fs.Bool("v", false, "shorthand for -log-level debug")
 		timings  = fs.Bool("timings", false, "print the per-stage build report after the artifacts")
@@ -53,7 +57,7 @@ func run(args []string, out io.Writer) error {
 
 	study := intertubes.NewStudy(intertubes.Options{Seed: *seed, Probes: *probes, Workers: *workers})
 
-	any := *fig6 || *fig7 || *fig8 || *fig9 || *table2 || *table3 || *table4
+	any := *fig6 || *fig7 || *fig8 || *fig9 || *table2 || *table3 || *table4 || *capac
 	show := func(selected bool, render func() string) {
 		if selected || !any {
 			fmt.Fprintln(out, render())
@@ -66,6 +70,11 @@ func run(args []string, out io.Writer) error {
 	show(*table2, study.RenderTable2)
 	show(*table3, study.RenderTable3)
 	show(*table4, study.RenderTable4)
+	// The capacity study sweeps a dozen cut scenarios; render it only
+	// on explicit request rather than in the render-everything default.
+	if *capac {
+		fmt.Fprintln(out, study.RenderCapacity())
+	}
 	if *timings {
 		fmt.Fprint(out, study.BuildReport())
 	}

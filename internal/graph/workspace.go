@@ -55,6 +55,10 @@ type Workspace struct {
 	// min-cut query.
 	mc *mincutScratch
 
+	// Dinic (MaxFlowWS) scratch, grown lazily on first max-flow
+	// query.
+	mf *maxflowScratch
+
 	// Min-cut path counters: queries resolved by the unit-weight
 	// bridge-DFS fast path vs the full Stoer-Wagner phase loop. The
 	// workspace is single-goroutine, so plain increments suffice;

@@ -39,6 +39,14 @@ func (s State) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// Terminal reports whether the job has finished for good (done,
+// failed, or canceled). Exported for consumers deciding whether a
+// job's artifacts are final — e.g. the server withholds caching
+// headers from partial results.
+func (s State) Terminal() bool {
+	return s.terminal()
+}
+
 // Status is the externally visible snapshot of one job, served by
 // GET /api/jobs and GET /api/jobs/{id}.
 type Status struct {

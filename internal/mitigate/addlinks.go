@@ -43,6 +43,14 @@ type AddOptions struct {
 	// reduction in best achievable worst-case sharing. Slower; exists
 	// for the greedy-vs-exact ablation in DESIGN.md.
 	Exact bool
+	// CapacityObjective, when non-nil, adds a capacity-aware term (in
+	// benefit units) to every candidate's score before the cost
+	// penalty — e.g. fiber.CapacityGbps scaled to reward conduits that
+	// would carry more wavelengths. It must be a pure function of its
+	// arguments: it is evaluated once per candidate at enumeration
+	// time, so the greedy sweep stays deterministic at any worker
+	// count. Nil preserves the pure shared-risk objective.
+	CapacityObjective func(a, b fiber.NodeID, lengthKm float64) float64
 	// Workers bounds the worker pool for the per-target distance
 	// fields and the candidate-scoring scan (<= 0 means all CPUs).
 	// The chosen additions are identical for any value.
@@ -125,8 +133,9 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 	// Candidate set: city pairs with no direct conduit, within the
 	// length window, shortest first.
 	type candidate struct {
-		a, b fiber.NodeID
-		km   float64
+		a, b  fiber.NodeID
+		km    float64
+		bonus float64 // CapacityObjective term, fixed at enumeration
 	}
 	var cands []candidate
 	for i := range m.Nodes {
@@ -139,7 +148,11 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 			if km < opts.MinKm || km > opts.MaxKm {
 				continue
 			}
-			cands = append(cands, candidate{a: a, b: b, km: km})
+			c := candidate{a: a, b: b, km: km}
+			if opts.CapacityObjective != nil {
+				c.bonus = opts.CapacityObjective(a, b, km)
+			}
+			cands = append(cands, c)
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -352,7 +365,7 @@ func AddConduitsCtx(ctx context.Context, m *fiber.Map, mx *risk.Matrix, opts Add
 					gain += f.weight * shave / (1 + detour/10)
 				}
 			}
-			return gain - opts.Alpha*cand.km/1000
+			return gain + cand.bonus - opts.Alpha*cand.km/1000
 		})
 		if err != nil {
 			return nil, err

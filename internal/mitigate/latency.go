@@ -250,12 +250,19 @@ func Summarize(study []PairLatency) LatencySummary {
 	return s
 }
 
-// CDF returns the sorted values of one latency class across the
-// study, for rendering Figure 12.
+// CDF returns the sorted finite values of one latency class across
+// the study, for rendering Figure 12. Non-finite values — a
+// disconnected pair reports +Inf or NaN latency — are dropped rather
+// than sorted: NaN has no total order under sort.Float64s, so a
+// single unreachable pair used to scramble the whole CDF.
 func CDF(study []PairLatency, pick func(PairLatency) float64) []float64 {
 	out := make([]float64, 0, len(study))
 	for _, pl := range study {
-		out = append(out, pick(pl))
+		v := pick(pl)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, v)
 	}
 	sort.Float64s(out)
 	return out

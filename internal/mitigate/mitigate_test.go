@@ -268,6 +268,33 @@ func TestCDFSorted(t *testing.T) {
 	}
 }
 
+// TestCDFDropsNonFinite: a disconnected pair reports +Inf (or NaN)
+// latency; those values must be filtered, not fed to sort.Float64s —
+// NaN has no total order, so one bad pair used to leave the CDF
+// unsorted and the Figure 12 rendering scrambled.
+func TestCDFDropsNonFinite(t *testing.T) {
+	study := []PairLatency{
+		{BestMs: 3},
+		{BestMs: math.Inf(1)}, // disconnected pair
+		{BestMs: 1},
+		{BestMs: math.NaN()},
+		{BestMs: 2},
+		{BestMs: math.Inf(-1)},
+	}
+	cdf := CDF(study, func(p PairLatency) float64 { return p.BestMs })
+	if len(cdf) != 3 {
+		t.Fatalf("cdf kept %d values, want 3 finite ones: %v", len(cdf), cdf)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if cdf[i] != want {
+			t.Fatalf("cdf = %v, want [1 2 3]", cdf)
+		}
+	}
+	if got := CDF(nil, func(p PairLatency) float64 { return p.BestMs }); len(got) != 0 {
+		t.Errorf("empty study cdf = %v", got)
+	}
+}
+
 func TestTopKeys(t *testing.T) {
 	score := map[string]int{"b": 2, "a": 2, "c": 5}
 	got := topKeys(score, 2)
@@ -276,6 +303,66 @@ func TestTopKeys(t *testing.T) {
 	}
 	if got := topKeys(nil, 3); len(got) != 0 {
 		t.Errorf("empty topKeys = %v", got)
+	}
+}
+
+// TestAddConduitsCapacityObjective exercises the capacity-aware hook:
+// a zero objective is byte-for-byte the pure shared-risk sweep, and a
+// targeted bonus redirects the first pick.
+func TestAddConduitsCapacityObjective(t *testing.T) {
+	res, mx := build(t)
+	base := AddConduits(res.Map, mx, AddOptions{K: 2})
+	if len(base.Additions) == 0 {
+		t.Fatal("baseline sweep chose nothing")
+	}
+
+	zero := AddConduits(res.Map, mx, AddOptions{K: 2,
+		CapacityObjective: func(a, b fiber.NodeID, km float64) float64 { return 0 },
+	})
+	if len(zero.Additions) != len(base.Additions) {
+		t.Fatalf("zero objective changed the addition count: %d vs %d",
+			len(zero.Additions), len(base.Additions))
+	}
+	for i := range base.Additions {
+		if zero.Additions[i] != base.Additions[i] {
+			t.Errorf("zero objective changed addition %d: %+v vs %+v",
+				i, zero.Additions[i], base.Additions[i])
+		}
+	}
+
+	// Reward every candidate except the baseline winner; the first
+	// pick must move and carry the bonus in its benefit.
+	first := base.Additions[0]
+	biased := AddConduits(res.Map, mx, AddOptions{K: 1,
+		CapacityObjective: func(a, b fiber.NodeID, km float64) float64 {
+			if a == first.A && b == first.B {
+				return 0
+			}
+			return 1e6
+		},
+	})
+	if len(biased.Additions) != 1 {
+		t.Fatalf("biased sweep chose %d additions, want 1", len(biased.Additions))
+	}
+	got := biased.Additions[0]
+	if got.A == first.A && got.B == first.B {
+		t.Errorf("capacity objective did not redirect the pick from %v-%v", first.A, first.B)
+	}
+	if got.Benefit < 1e5 {
+		t.Errorf("biased benefit %v does not reflect the objective term", got.Benefit)
+	}
+
+	// A capacity-proportional objective (the intended use) still
+	// yields valid additions within the length window.
+	capObj := AddConduits(res.Map, mx, AddOptions{K: 2,
+		CapacityObjective: func(a, b fiber.NodeID, km float64) float64 {
+			return fiber.CapacityGbps(a, b, km, 1) / 1000
+		},
+	})
+	for _, ad := range capObj.Additions {
+		if ad.LengthKm < 100 || ad.LengthKm > 900 {
+			t.Errorf("capacity-biased addition length %v outside window", ad.LengthKm)
+		}
 	}
 }
 

@@ -260,8 +260,11 @@ type Result struct {
 	Ranking       []RankShift      `json:"ranking"`
 	Disconnection []Disconnection  `json:"disconnection"`
 	Partition     []PartitionShift `json:"partition"`
-	Latency       *LatencyDelta    `json:"latency,omitempty"`
-	Traffic       *TrafficDelta    `json:"traffic,omitempty"`
+	// LostTraffic is the capacity-layer delta: Gbps of gravity-model
+	// demand the perturbation strands (capacity.go). Always present.
+	LostTraffic *LostTraffic  `json:"lostTraffic"`
+	Latency     *LatencyDelta `json:"latency,omitempty"`
+	Traffic     *TrafficDelta `json:"traffic,omitempty"`
 }
 
 // MeanDisconnectionAfter averages the after-column of the
@@ -430,6 +433,15 @@ func (e *Engine) evaluateClone(ctx context.Context, snap *snapshot, sc Scenario)
 			After:  pc.MinCuts,
 		})
 	}
+
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
+	// Capacity stage: the gravity demand matrix re-flowed over the
+	// fully perturbed map's own graph — the executable spec the
+	// overlay path's touched-component reuse is tested against.
+	res.LostTraffic = lostTrafficClone(snap, pm)
 
 	if err := e.latencyStage(ctx, snap, sc, pm, res); err != nil {
 		return nil, err

@@ -51,6 +51,9 @@ type CellOutcome struct {
 	PartitionCostDrop int `json:"partitionCostDrop"`
 	// RankShifts counts providers whose risk-ranking position moved.
 	RankShifts int `json:"rankShifts"`
+	// LostTrafficGbps is the capacity-layer severity: Gbps of
+	// gravity-model demand the disaster strands.
+	LostTrafficGbps float64 `json:"lostTrafficGbps"`
 }
 
 // ReduceCell collapses one sweep Outcome into the cell's persistable
@@ -102,6 +105,9 @@ func ReduceCell(cell GridCell, o Outcome) CellOutcome {
 			out.RankShifts++
 		}
 	}
+	if r.LostTraffic != nil {
+		out.LostTrafficGbps = r.LostTraffic.LostGbps
+	}
 	return out
 }
 
@@ -135,7 +141,10 @@ type Heatmap struct {
 	Total           int           `json:"total"`
 	Completed       int           `json:"completed"`
 	MaxSeverity     float64       `json:"maxSeverity"`
-	Cells           []CellOutcome `json:"cells"`
+	// MaxLostTrafficGbps is the worst capacity-layer severity across
+	// completed cells, the Gbps counterpart of MaxSeverity.
+	MaxLostTrafficGbps float64       `json:"maxLostTrafficGbps"`
+	Cells              []CellOutcome `json:"cells"`
 }
 
 // BuildHeatmap assembles the artifact from the grid geometry and its
@@ -168,6 +177,9 @@ func BuildHeatmap(g GridGeom, baselineVersion uint64, cells []CellOutcome) *Heat
 		h.Cells = append(h.Cells, *c)
 		if c.MeanDisconnection > h.MaxSeverity {
 			h.MaxSeverity = c.MeanDisconnection
+		}
+		if c.LostTrafficGbps > h.MaxLostTrafficGbps {
+			h.MaxLostTrafficGbps = c.LostTrafficGbps
 		}
 	}
 	h.Completed = len(h.Cells)
@@ -227,6 +239,21 @@ func (h *Heatmap) GeoJSON() ([]byte, error) {
 // '.' is an evaluated cell with no damage, '@' total disconnection.
 const severityRamp = ".:-=+*#%@"
 
+// rampIndex maps a severity onto the ramp, clamped at both ends: a
+// NaN or negative severity renders as no damage instead of indexing
+// out of range, and anything >= 1 saturates at the top glyph.
+func rampIndex(sev float64) int {
+	// NaN fails both comparisons and lands on 0; float-side clamping
+	// also keeps ±Inf away from the undefined float-to-int conversion.
+	if sev >= 1 {
+		return len(severityRamp) - 1
+	}
+	if sev > 0 {
+		return int(sev * float64(len(severityRamp)))
+	}
+	return 0
+}
+
 // RenderGrid renders one ASCII raster per radius in the ladder, rows
 // north at the top, ' ' for culled or not-yet-evaluated lattice
 // points, '!' for cells whose evaluation failed, and the severity
@@ -235,6 +262,8 @@ func (h *Heatmap) RenderGrid() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "disaster grid %s (baseline v%d): %d/%d cells, %d×%d lattice\n",
 		h.GridHash, h.BaselineVersion, h.Completed, h.Total, h.Rows, h.Cols)
+	fmt.Fprintf(&b, "max severity %.4f, max lost traffic %.1f Gbps\n",
+		h.MaxSeverity, h.MaxLostTrafficGbps)
 	byKey := make(map[[3]int]*CellOutcome, len(h.Cells))
 	radiusPos := make(map[float64]int, len(h.Spec.RadiiKm))
 	for i, r := range h.Spec.RadiiKm {
@@ -259,11 +288,7 @@ func (h *Heatmap) RenderGrid() string {
 				case c.Err != "":
 					b.WriteByte('!')
 				default:
-					i := int(c.MeanDisconnection * float64(len(severityRamp)))
-					if i >= len(severityRamp) {
-						i = len(severityRamp) - 1
-					}
-					b.WriteByte(severityRamp[i])
+					b.WriteByte(severityRamp[rampIndex(c.MeanDisconnection)])
 				}
 			}
 			b.WriteByte('\n')

@@ -2,9 +2,54 @@ package scenario
 
 import (
 	"context"
+	"math"
 	"strings"
 	"testing"
 )
+
+// TestRampIndexClamps pins the raster glyph lookup at both ends of
+// the scale: the old code clamped only the high side, so a NaN or
+// negative severity indexed out of range and panicked the renderer.
+func TestRampIndexClamps(t *testing.T) {
+	cases := []struct {
+		sev  float64
+		want int
+	}{
+		{0, 0},
+		{0.05, 0},
+		{0.5, 4},
+		{0.999, 8},
+		{1, 8},
+		{1.7, 8},
+		{-0.2, 0},
+		{math.Inf(1), 8},
+		{math.Inf(-1), 0},
+		{math.NaN(), 0},
+	}
+	for _, tc := range cases {
+		if got := rampIndex(tc.sev); got != tc.want {
+			t.Errorf("rampIndex(%v) = %d, want %d", tc.sev, got, tc.want)
+		}
+	}
+}
+
+// TestRenderGridPathologicalSeverity renders cells carrying NaN and
+// negative severities without panicking.
+func TestRenderGridPathologicalSeverity(t *testing.T) {
+	h := &Heatmap{
+		GridHash: "test", Rows: 1, Cols: 3, Total: 3, Completed: 3,
+		Spec: GridSpec{RadiiKm: []float64{50}},
+		Cells: []CellOutcome{
+			{Index: 0, Row: 0, Col: 0, RadiusKm: 50, MeanDisconnection: math.NaN()},
+			{Index: 1, Row: 0, Col: 1, RadiusKm: 50, MeanDisconnection: -0.5},
+			{Index: 2, Row: 0, Col: 2, RadiusKm: 50, MeanDisconnection: 2.5},
+		},
+	}
+	grid := h.RenderGrid()
+	if !strings.Contains(grid, "..@") {
+		t.Errorf("pathological severities rendered unexpectedly:\n%s", grid)
+	}
+}
 
 func TestReduceCellMetrics(t *testing.T) {
 	cell := GridCell{Index: 3, Row: 1, Col: 2, Lat: 40, Lon: -100, RadiusKm: 50}

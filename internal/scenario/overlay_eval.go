@@ -54,6 +54,9 @@ type evalScratch struct {
 	w     []float64
 	verts []int
 	extra []graph.Edge
+	// capW is the capacity stage's per-conduit capacity table
+	// (base conduits first, overlay virtuals after).
+	capW []float64
 }
 
 var scratchPool = sync.Pool{
@@ -288,6 +291,36 @@ func (e *Engine) evaluateOverlay(ctx context.Context, snap *snapshot, sc Scenari
 		fast, full := scr.ws.MinCutStats()
 		sp.SetAttrInt("mincut_fastpath", int64(fast-fast0))
 		sp.SetAttrInt("mincut_stoerwagner", int64(full-full0))
+		return nil
+	})
+
+	if err := checkpoint(); err != nil {
+		return nil, err
+	}
+
+	// Capacity stage: re-flow the gravity demand matrix over the
+	// perturbed capacities. Base conduit capacities come from the
+	// final view (cuts dark, removals thinned, merged additions
+	// widened); overlay-new conduits ride as extra edges. A demand
+	// pair reuses its memoized baseline flow when the perturbation
+	// never reaches its source or sink component.
+	_ = stage("scenario.stage.capacity", func(sp *obs.Span) error {
+		cb := snap.capacity()
+		scr.capW = capacityTable(final, scr.capW)
+		scr.extra = scr.extra[:0]
+		nb := ov.NumBaseConduits()
+		for cid := nb; cid < len(scr.capW); cid++ {
+			a, b := final.ConduitEnds(fiber.ConduitID(cid))
+			scr.extra = append(scr.extra, graph.Edge{U: int(a), V: int(b), Weight: scr.capW[cid]})
+		}
+		touchedComps := capacityTouched(m, cb, cuts, pert)
+		reusable := func(i int) bool {
+			d := &cb.demands[i]
+			return !touchedComps[cb.comp[d.s]] && !touchedComps[cb.comp[d.t]]
+		}
+		var recomputed, reused int
+		res.LostTraffic, recomputed, reused = lostTrafficOn(cb, snap.g, scr.ws, scr.capW[:nb], scr.extra, reusable)
+		setReuseAttrs(sp, recomputed, reused)
 		return nil
 	})
 

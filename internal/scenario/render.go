@@ -77,6 +77,13 @@ func Render(r *Result) string {
 	}
 	b.WriteString(t4.String())
 
+	if lt := r.LostTraffic; lt != nil {
+		fmt.Fprintf(&b, "\nlost traffic (gravity demand, %d pairs):\n", lt.Demands)
+		fmt.Fprintf(&b, "  offered:   %.1f Gbps\n", lt.OfferedGbps)
+		fmt.Fprintf(&b, "  served:    %.1f -> %.1f Gbps\n", lt.ServedBeforeGbps, lt.ServedAfterGbps)
+		fmt.Fprintf(&b, "  stranded:  %.1f Gbps\n", lt.LostGbps)
+	}
+
 	if r.Latency != nil {
 		lb, la := r.Latency.Before, r.Latency.After
 		fmt.Fprintf(&b, "\nlatency impact (%d max pairs):\n", r.Latency.MaxPairs)

@@ -49,6 +49,12 @@ type snapshot struct {
 	btwOnce sync.Once
 	btwRank []fiber.ConduitID
 
+	// Capacity-layer baseline (capacity.go): gravity demands, the
+	// conduit capacity table, lit-capacity components, and memoized
+	// per-pair baseline flows.
+	capOnce sync.Once
+	capBase capacityBaseline
+
 	latMu   sync.Mutex
 	latBase map[int]mitigate.LatencySummary // by MaxPairs
 

@@ -66,6 +66,7 @@ func Sweep(ctx context.Context, eng *Engine, scs []Scenario, workers int) []Outc
 	// read-only (the memo is guarded by sync.Once).
 	snap := eng.snapshot()
 	snap.baseline()
+	snap.capacity()
 
 	total := len(scs)
 	var done atomic.Int64

@@ -81,12 +81,19 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // (default) renders the FeatureCollection; ?format=grid the ASCII
 // raster. Partial artifacts are served while the job runs — the
 // completed/total fields say how much is in — and the bytes become
-// the deterministic final artifact once the job is done.
+// the deterministic final artifact once the job is done. Until then
+// the response carries Cache-Control: no-store, so an intermediary
+// never pins a half-built GeoJSON as if it were the final artifact.
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	h, err := s.jobs.Heatmap(r.PathValue("id"))
+	id := r.PathValue("id")
+	st, stErr := s.jobs.Get(id)
+	h, err := s.jobs.Heatmap(id)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, "no such job")
 		return
+	}
+	if stErr == nil && !st.State.Terminal() {
+		w.Header().Set("Cache-Control", "no-store")
 	}
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "geojson":

@@ -184,6 +184,62 @@ func TestJobsBadRequests(t *testing.T) {
 	}
 }
 
+// TestJobResultCacheControlFlip pins the artifact caching contract: a
+// result fetched while the job is still running is a partial artifact
+// and must carry Cache-Control: no-store; once the job is terminal the
+// bytes are final and the header disappears.
+func TestJobResultCacheControlFlip(t *testing.T) {
+	eng := study(t).Scenarios().Engine()
+	started := make(chan struct{})
+	var once sync.Once
+	eng.SetEvalHook(func(ctx context.Context) {
+		if _, ok := jobs.JobIDFromContext(ctx); !ok {
+			return // interactive evaluation: untouched
+		}
+		once.Do(func() { close(started) })
+		<-ctx.Done() // park every job evaluation until cancel
+	})
+	defer eng.SetEvalHook(nil)
+
+	resp, raw := postJSON(t, "/api/jobs/sweep", `{"cellKm": 500, "radiiKm": [90]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Mid-flight: the partial artifact must not be cacheable.
+	for _, format := range []string{"geojson", "grid"} {
+		resp, _ := get(t, "/api/jobs/"+st.ID+"/result?format="+format)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("running %s result status %d", format, resp.StatusCode)
+		}
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("running %s result Cache-Control = %q, want no-store", format, cc)
+		}
+	}
+
+	// Drive the job terminal and re-fetch: the artifact is now final,
+	// so the no-store header must be gone.
+	if resp, _ := postJSON(t, "/api/jobs/"+st.ID+"/cancel", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	last, _ := streamUntilTerminal(t, st.ID)
+	if !last.State.Terminal() {
+		t.Fatalf("job ended in non-terminal state %s", last.State)
+	}
+	resp, _ = get(t, "/api/jobs/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("terminal result status %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "" {
+		t.Errorf("terminal result Cache-Control = %q, want unset", cc)
+	}
+}
+
 // TestInteractiveRoutesGreenDuringSweep is the admission acceptance
 // criterion: with a sweep job actively running (its evaluations
 // parked on the fault hook), interactive scenario POSTs still return
