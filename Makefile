@@ -32,7 +32,7 @@ bench:
 # check that the benchmarks themselves still build and
 # run (it does not overwrite BENCH_obs.json).
 bench-smoke:
-	BENCH='DijkstraSweep|KShortestPaths$$|EdgeBetweenness|MaxFlow|ScenarioEvaluate|ScenarioEvaluateCapacity|ScenarioSweep|GridSweep|TracingOverhead' BENCHTIME=1x OUT=BENCH_smoke.json sh scripts/bench.sh
+	BENCH='DijkstraSweep|KShortestPaths$$|EdgeBetweenness|MaxFlow|ScenarioEvaluate|ScenarioEvaluateCapacity|ScenarioSweep|GridSweep|TracingOverhead|LatencyAtlas' BENCHTIME=1x OUT=BENCH_smoke.json sh scripts/bench.sh
 	rm -f BENCH_smoke.json
 
 clean:

@@ -13,6 +13,7 @@ package intertubes_test
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"intertubes/internal/fiber"
 	"intertubes/internal/geo"
 	"intertubes/internal/graph"
+	"intertubes/internal/latency"
 	"intertubes/internal/mapbuilder"
 	"intertubes/internal/mitigate"
 	"intertubes/internal/obs"
@@ -847,4 +849,60 @@ func BenchmarkScenarioSweep(b *testing.B) {
 			b.ReportMetric(float64(len(batch)), "scenarios/op")
 		})
 	}
+}
+
+// BenchmarkLatencyAtlas pins the atlas speedup claim: the all-pairs
+// city latency table computed per-pair (one early-stopped Dijkstra
+// per pair — the asymptotics the §5.3 study grew up on) against the
+// source-batched build (one full Dijkstra per city). Both halves
+// produce byte-identical pair tables, verified before timing. The
+// "row" sub-benchmark times one warm per-source row fill; its
+// allocs/op must read 0 in BENCH_obs.json — the steady state of the
+// batched kernel.
+func BenchmarkLatencyAtlas(b *testing.B) {
+	sharedStudy()
+	ctx := context.Background()
+	ref, err := latency.PairsPerPair(ctx, benchRes.Map, latency.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := latency.Build(ctx, benchRes.Map, latency.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Pairs(), ref) {
+		b.Fatal("batched atlas diverges from the per-pair reference")
+	}
+
+	b.Run("per-pair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := latency.PairsPerPair(ctx, benchRes.Map, latency.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			at, err := latency.Build(ctx, benchRes.Map, latency.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(at.Pairs()) != len(ref) {
+				b.Fatal("pair count changed")
+			}
+		}
+	})
+	b.Run("row", func(b *testing.B) {
+		g := benchRes.Map.Graph()
+		wf := benchRes.Map.LitWeight()
+		ws := graph.NewWorkspace()
+		row := make([]float64, g.NumVertices())
+		src := int(warm.Source(0))
+		g.ShortestDistancesWS(ws, src, wf, row)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.ShortestDistancesWS(ws, src, wf, row)
+		}
+	})
 }

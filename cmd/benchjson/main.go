@@ -51,6 +51,8 @@ func main() {
 func run(args []string, in io.Reader, errOut io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "BENCH_obs.json", "output file")
+	baseline := fs.String("baseline", "", "baseline summary to compare against (fails on ns/op regressions)")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs -baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +71,51 @@ func run(args []string, in io.Reader, errOut io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(errOut, "benchjson: %d benchmarks -> %s\n", len(sum.Benchmarks), *out)
+	if *baseline != "" {
+		return compareBaseline(sum, *baseline, *tolerance, errOut)
+	}
+	return nil
+}
+
+// compareBaseline checks every benchmark present in both the new
+// summary and the baseline file: a ns/op more than tolerance above
+// the baseline's is a regression, and one or more regressions fail
+// the run. Benchmarks present on only one side are ignored — the
+// gate compares named pairs, it does not require identical suites.
+func compareBaseline(sum *Summary, path string, tolerance float64, errOut io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Summary
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	old := make(map[string]float64)
+	for _, r := range base.Benchmarks {
+		if ns := r.Metrics["ns/op"]; ns > 0 {
+			old[r.Package+" "+r.Name] = ns
+		}
+	}
+	regressions := 0
+	compared := 0
+	for _, r := range sum.Benchmarks {
+		ns := r.Metrics["ns/op"]
+		oldNs, ok := old[r.Package+" "+r.Name]
+		if !ok || ns <= 0 {
+			continue
+		}
+		compared++
+		if ns > oldNs*(1+tolerance) {
+			regressions++
+			fmt.Fprintf(errOut, "benchjson: REGRESSION %s %s: %.0f ns/op vs baseline %.0f (+%.0f%%, tolerance %.0f%%)\n",
+				r.Package, r.Name, ns, oldNs, (ns/oldNs-1)*100, tolerance*100)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d of %d compared benchmarks regressed >%.0f%% vs %s", regressions, compared, tolerance*100, path)
+	}
+	fmt.Fprintf(errOut, "benchjson: %d benchmarks within %.0f%% of %s\n", compared, tolerance*100, path)
 	return nil
 }
 

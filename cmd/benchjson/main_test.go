@@ -230,3 +230,62 @@ func TestRunWritesFile(t *testing.T) {
 		t.Errorf("stderr = %q", errBuf.String())
 	}
 }
+
+func writeBaseline(t *testing.T, sum Summary) string {
+	t.Helper()
+	raw, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := writeBaseline(t, Summary{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkFast", Metrics: map[string]float64{"ns/op": 100}},
+		{Package: "p", Name: "BenchmarkOnlyInBaseline", Metrics: map[string]float64{"ns/op": 50}},
+	}})
+	within := &Summary{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkFast", Metrics: map[string]float64{"ns/op": 120}},
+		{Package: "p", Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 999}},
+	}}
+	var errBuf strings.Builder
+	if err := compareBaseline(within, base, 0.25, &errBuf); err != nil {
+		t.Fatalf("+20%% within a 25%% tolerance failed: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "1 benchmarks within") {
+		t.Errorf("stderr = %q, want exactly one compared benchmark", errBuf.String())
+	}
+
+	regressed := &Summary{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkFast", Metrics: map[string]float64{"ns/op": 130}},
+	}}
+	errBuf.Reset()
+	err := compareBaseline(regressed, base, 0.25, &errBuf)
+	if err == nil {
+		t.Fatal("+30% past a 25% tolerance did not fail")
+	}
+	if !strings.Contains(errBuf.String(), "REGRESSION p BenchmarkFast") {
+		t.Errorf("stderr = %q, want a named regression line", errBuf.String())
+	}
+}
+
+func TestCompareBaselineViaRun(t *testing.T) {
+	base := writeBaseline(t, Summary{Benchmarks: []Result{
+		{Package: "p", Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 100}},
+	}})
+	out := filepath.Join(t.TempDir(), "bench.json")
+	stream := `{"Action":"output","Package":"p","Output":"BenchmarkX-2 5 500 ns/op\n"}`
+	var errBuf strings.Builder
+	err := run([]string{"-o", out, "-baseline", base}, strings.NewReader(stream), &errBuf)
+	if err == nil {
+		t.Fatal("5x regression did not fail the run")
+	}
+	if _, statErr := os.Stat(out); statErr != nil {
+		t.Errorf("summary not written despite regression: %v", statErr)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package latency
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression guards skip under it (instrumentation
+// allocates).
+const raceEnabled = true

@@ -9,6 +9,7 @@ import (
 	"intertubes/internal/fiber"
 	"intertubes/internal/geo"
 	"intertubes/internal/graph"
+	"intertubes/internal/latency"
 	"intertubes/internal/par"
 )
 
@@ -151,27 +152,74 @@ func LatencyStudyCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, opts Lat
 		pairs = kept
 	}
 
-	// Each pair is an independent read-only query against the two
-	// graphs, so the sweep fans out over the worker pool with one
-	// reusable graph workspace per worker; dropped pairs (no lit path)
-	// are filtered during the ordered reduce.
+	// Phase 1 — source-batched SSSP rows (internal/latency): one full
+	// Dijkstra per distinct source over the lit graph and one per
+	// distinct atlas city over the ROW graph, instead of one query per
+	// pair. A pair then reads its best-existing and best-ROW distances
+	// straight off matrix rows; a row value is bit-identical to the
+	// per-pair query it replaces (same Dijkstra accumulation, and an
+	// early-stopped run settles dst at its final distance), so the
+	// output bytes are unchanged — the worker-invariance suite pins
+	// this.
+	litWF := m.LitWeight()
+	litSrc := make([]int32, len(nodes))
+	litIdx := make([]int32, m.NumNodes()) // node id -> lit matrix row
+	for i := range litIdx {
+		litIdx[i] = -1
+	}
+	for i, id := range nodes {
+		litSrc[i] = int32(id)
+		litIdx[id] = int32(i)
+	}
+	litMx, err := latency.BuildMatrix(ctx, g, litWF, litSrc, opts.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	rowIdx := make([]int32, rg.NumVertices()) // atlas city -> ROW matrix row
+	for i := range rowIdx {
+		rowIdx[i] = -1
+	}
+	var rowSrc []int32
+	for _, id := range nodes {
+		if ac := m.Node(id).AtlasCity; ac >= 0 && ac < len(rowIdx) && rowIdx[ac] < 0 {
+			rowIdx[ac] = 0 // mark; renumbered after the sort below
+			rowSrc = append(rowSrc, int32(ac))
+		}
+	}
+	sort.Slice(rowSrc, func(i, j int) bool { return rowSrc[i] < rowSrc[j] })
+	for i, ac := range rowSrc {
+		rowIdx[ac] = int32(i)
+	}
+	rowMx, err := latency.BuildMatrix(ctx, rg, nil, rowSrc, opts.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — per-pair work that a distance matrix cannot batch:
+	// Yen's k-shortest-paths for the alternative-path average. Pairs
+	// the lit matrix shows disconnected skip Yen entirely (previously
+	// each burned a full no-path Dijkstra); dropped pairs are filtered
+	// during the ordered reduce.
 	type pairResult struct {
 		pl PairLatency
 		ok bool
 	}
-	litWF := m.LitWeight()
 	computed, err := par.MapCtxWith(ctx, len(pairs), opts.Workers, graph.NewWorkspace, func(i int, ws *graph.Workspace) pairResult {
 		p := pairs[i]
 		na, nb := m.Node(p.a), m.Node(p.b)
 		pl := PairLatency{A: p.a, B: p.b}
 		pl.LosMs = geo.FiberLatencyMs(na.Loc.DistanceKm(nb.Loc))
 
-		// Existing physical paths over lit conduits.
+		// Best existing physical path over lit conduits, off the
+		// batched matrix row.
+		best := litMx.Row(int(litIdx[p.a]))[p.b]
+		if math.IsInf(best, 0) {
+			return pairResult{} // no lit path
+		}
 		paths := g.KShortestPathsWS(ws, int(p.a), int(p.b), opts.KPaths, litWF)
 		if len(paths) == 0 {
 			return pairResult{}
 		}
-		best := paths[0].Weight
 		var sum float64
 		n := 0
 		for _, path := range paths {
@@ -186,9 +234,12 @@ func LatencyStudyCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, opts Lat
 
 		// Best right-of-way distance over the augmented ROW graph (the
 		// route itself is not needed here, only its length).
-		if na.AtlasCity >= 0 && nb.AtlasCity >= 0 {
-			if d, ok := rg.ShortestDistanceWS(ws, na.AtlasCity, nb.AtlasCity, nil); ok {
-				pl.RowMs = geo.FiberLatencyMs(d)
+		if na.AtlasCity >= 0 && na.AtlasCity < rg.NumVertices() &&
+			nb.AtlasCity >= 0 && nb.AtlasCity < rg.NumVertices() {
+			if ri := rowIdx[na.AtlasCity]; ri >= 0 {
+				if d := rowMx.Row(int(ri))[nb.AtlasCity]; !math.IsInf(d, 0) {
+					pl.RowMs = geo.FiberLatencyMs(d)
+				}
 			}
 		}
 		if pl.RowMs == 0 {
@@ -222,7 +273,11 @@ type LatencySummary struct {
 	AvgToBest float64
 }
 
-// Summarize derives the headline numbers from a study.
+// Summarize derives the headline numbers from a study. Degenerate
+// input — an empty study, or pairs carrying NaN/Inf delays from a
+// disconnected map — never yields NaN percentiles: non-finite values
+// are excluded from every quantile, and a quantile with no finite
+// samples reports zero.
 func Summarize(study []PairLatency) LatencySummary {
 	s := LatencySummary{Pairs: len(study)}
 	if len(study) == 0 {
@@ -234,20 +289,31 @@ func Summarize(study []PairLatency) LatencySummary {
 		if pl.BestMs <= pl.RowMs*1.02 {
 			equal++
 		}
-		gaps = append(gaps, math.Max(0, pl.RowMs-pl.LosMs))
+		if gap := math.Max(0, pl.RowMs-pl.LosMs); isFinite(gap) {
+			gaps = append(gaps, gap)
+		}
 		if pl.BestMs > 0 {
-			ratios = append(ratios, pl.AvgMs/pl.BestMs)
+			if r := pl.AvgMs / pl.BestMs; isFinite(r) {
+				ratios = append(ratios, r)
+			}
 		}
 	}
 	s.BestEqualsROW = float64(equal) / float64(len(study))
 	sort.Float64s(gaps)
 	sort.Float64s(ratios)
-	s.LosGapP50 = gaps[len(gaps)/2]
-	s.LosGapP75 = gaps[len(gaps)*3/4]
+	if len(gaps) > 0 {
+		s.LosGapP50 = gaps[len(gaps)/2]
+		s.LosGapP75 = gaps[len(gaps)*3/4]
+	}
 	if len(ratios) > 0 {
 		s.AvgToBest = ratios[len(ratios)/2]
 	}
 	return s
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // CDF returns the sorted finite values of one latency class across

@@ -59,57 +59,84 @@ func LatencyImprovementsCtx(ctx context.Context, m *fiber.Map, a *atlas.Atlas, s
 		}
 	}
 
-	// Each pair is an independent read-only ROW-graph query, so the
-	// sweep fans out over the worker pool with one reusable graph
-	// workspace per worker; skipped pairs are filtered during the
-	// ordered reduce, keeping the output identical for any worker
-	// count.
-	computed, err := par.MapCtxWith(ctx, len(study), opts.Workers, graph.NewWorkspace, func(i int, ws *graph.Workspace) *LatencyImprovement {
-		pl := study[i]
-		if pl.BestMs <= pl.RowMs*1.02 {
-			return nil // already at the ROW bound
+	// A latency study lists pairs grouped by source (A ascending, then
+	// B), so the ROW scan batches per source: one full shortest-path
+	// tree per distinct A (graph.ShortestTreeWS), then every B of the
+	// group traces its path off the settled parent array instead of
+	// running its own Dijkstra. A traced path is bit-identical to the
+	// per-pair ShortestPathWS it replaces — parents only change on
+	// strictly-shorter relaxations, so early-stop and full-settle runs
+	// agree — and groups are independent, keeping the output identical
+	// for any worker count.
+	type group struct{ lo, hi int } // study[lo:hi) share study[lo].A
+	var groups []group
+	for lo := 0; lo < len(study); {
+		hi := lo + 1
+		for hi < len(study) && study[hi].A == study[lo].A {
+			hi++
 		}
-		na, nb := m.Node(pl.A), m.Node(pl.B)
-		if na.AtlasCity < 0 || nb.AtlasCity < 0 {
-			return nil
-		}
-		path, ok := rg.ShortestPathWS(ws, na.AtlasCity, nb.AtlasCity, nil)
-		if !ok {
-			return nil
-		}
-		imp := LatencyImprovement{
-			A: pl.A, B: pl.B,
-			BestMs:  pl.BestMs,
-			RowMs:   geo.FiberLatencyMs(path.Weight),
-			SavedMs: pl.BestMs - geo.FiberLatencyMs(path.Weight),
-		}
-		for _, eid := range path.Edges {
-			e := rg.Edge(eid)
-			if eid < nCorridors {
-				if !lit[eid] {
-					imp.NewFiberKm += a.Corridors[eid].LengthKm
-					imp.Route = append(imp.Route, a.Corridors[eid].Route)
-				}
-			} else {
-				// Implicit secondary-highway edge: always a new build.
-				imp.NewFiberKm += e.Weight
-				imp.Route = append(imp.Route, "secondary")
+		groups = append(groups, group{lo: lo, hi: hi})
+		lo = hi
+	}
+	computed, err := par.MapCtxWith(ctx, len(groups), opts.Workers, graph.NewWorkspace, func(gi int, ws *graph.Workspace) []*LatencyImprovement {
+		gr := groups[gi]
+		imps := make([]*LatencyImprovement, gr.hi-gr.lo)
+		na := m.Node(study[gr.lo].A)
+		treeBuilt := false
+		for i := gr.lo; i < gr.hi; i++ {
+			pl := study[i]
+			if pl.BestMs <= pl.RowMs*1.02 {
+				continue // already at the ROW bound
 			}
+			nb := m.Node(pl.B)
+			if na.AtlasCity < 0 || na.AtlasCity >= rg.NumVertices() || nb.AtlasCity < 0 {
+				continue
+			}
+			if !treeBuilt {
+				rg.ShortestTreeWS(ws, na.AtlasCity, nil)
+				treeBuilt = true
+			}
+			path, ok := rg.TreePathWS(ws, nb.AtlasCity)
+			if !ok {
+				continue
+			}
+			imp := LatencyImprovement{
+				A: pl.A, B: pl.B,
+				BestMs:  pl.BestMs,
+				RowMs:   geo.FiberLatencyMs(path.Weight),
+				SavedMs: pl.BestMs - geo.FiberLatencyMs(path.Weight),
+			}
+			for _, eid := range path.Edges {
+				e := rg.Edge(eid)
+				if eid < nCorridors {
+					if !lit[eid] {
+						imp.NewFiberKm += a.Corridors[eid].LengthKm
+						imp.Route = append(imp.Route, a.Corridors[eid].Route)
+					}
+				} else {
+					// Implicit secondary-highway edge: always a new build.
+					imp.NewFiberKm += e.Weight
+					imp.Route = append(imp.Route, "secondary")
+				}
+			}
+			// Only material proposals: a build must save at least 50 us
+			// (~10 km of route) to be worth a trench.
+			if imp.SavedMs < 0.05 {
+				continue
+			}
+			imps[i-gr.lo] = &imp
 		}
-		// Only material proposals: a build must save at least 50 us
-		// (~10 km of route) to be worth a trench.
-		if imp.SavedMs < 0.05 {
-			return nil
-		}
-		return &imp
+		return imps
 	})
 	if err != nil {
 		return nil, err
 	}
 	var out []LatencyImprovement
-	for _, imp := range computed {
-		if imp != nil {
-			out = append(out, *imp)
+	for _, imps := range computed {
+		for _, imp := range imps {
+			if imp != nil {
+				out = append(out, *imp)
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,123 @@
+package mitigate
+
+import (
+	"intertubes/internal/fiber"
+	"intertubes/internal/geo"
+	"intertubes/internal/latency"
+)
+
+// relay.go implements the overlay-routing payoff of the latency
+// atlas: the "Dissecting Latency" line of work closes part of the
+// inflation gap without trenching new fiber by relaying traffic
+// through an intermediate city whenever the two-leg fiber path beats
+// the default route. PlaceRelays is the constructive planner — a
+// sibling of AddConduits, except a candidate site is scored in O(1)
+// per pair straight off precomputed atlas rows, so the whole greedy
+// sweep costs k·sites·pairs float operations and no graph queries.
+
+// Relay is one placed overlay relay site.
+type Relay struct {
+	Node fiber.NodeID
+	// GainMs is the aggregate one-way delay saved across the study's
+	// pairs by adding this relay on top of the previously placed ones.
+	GainMs float64
+	// PairsImproved counts pairs this relay lowers.
+	PairsImproved int
+}
+
+// RelayResult is the outcome of a greedy relay placement.
+type RelayResult struct {
+	Relays []Relay
+	// Pairs is the number of study pairs the planner scored.
+	Pairs int
+	// MeanBeforeMs and MeanAfterMs are the mean one-way pair delays
+	// before any relay and after all placed relays.
+	MeanBeforeMs, MeanAfterMs float64
+}
+
+// PlaceRelays greedily places up to k overlay relay sites among the
+// atlas's cities. Each study pair starts at its average existing
+// delay (AvgMs — the modelled default route); routing via a relay r
+// costs the best fiber path A→r plus r→B, both read off atlas rows.
+// Every round picks the site with the largest aggregate saving over
+// the pairs' current delays, ties broken toward the lowest node id,
+// and stops early once no site helps. The result is deterministic:
+// the scan is a pure fold over immutable matrix rows.
+func PlaceRelays(at *latency.Atlas, study []PairLatency, k int) RelayResult {
+	var res RelayResult
+	if at == nil || k <= 0 {
+		return res
+	}
+	type relayPair struct {
+		ra   int // atlas row of A
+		a, b fiber.NodeID
+		cur  float64 // current delay, ms
+	}
+	var pairs []relayPair
+	var before float64
+	for _, pl := range study {
+		ra, rb := at.RowIndex(pl.A), at.RowIndex(pl.B)
+		if ra < 0 || rb < 0 || !isFinite(pl.AvgMs) || pl.AvgMs <= 0 {
+			continue
+		}
+		pairs = append(pairs, relayPair{ra: ra, a: pl.A, b: pl.B, cur: pl.AvgMs})
+		before += pl.AvgMs
+	}
+	res.Pairs = len(pairs)
+	if len(pairs) == 0 {
+		return res
+	}
+	res.MeanBeforeMs = before / float64(len(pairs))
+
+	used := make([]bool, at.NumSources())
+	via := func(p *relayPair, ri int, rNode fiber.NodeID) float64 {
+		return geo.FiberLatencyMs(at.DistKm(p.ra, rNode) + at.DistKm(ri, p.b))
+	}
+	for round := 0; round < k; round++ {
+		bestRi, bestImproved := -1, 0
+		var bestGain float64
+		for ri := 0; ri < at.NumSources(); ri++ {
+			if used[ri] {
+				continue
+			}
+			rNode := at.Source(ri)
+			var gain float64
+			improved := 0
+			for pi := range pairs {
+				p := &pairs[pi]
+				if rNode == p.a || rNode == p.b {
+					continue // a relay is an intermediate site
+				}
+				if v := via(p, ri, rNode); v < p.cur {
+					gain += p.cur - v
+					improved++
+				}
+			}
+			// Strict > keeps the lowest node id on exact ties.
+			if gain > bestGain {
+				bestGain, bestRi, bestImproved = gain, ri, improved
+			}
+		}
+		if bestRi < 0 || bestGain <= 0 {
+			break
+		}
+		used[bestRi] = true
+		rNode := at.Source(bestRi)
+		for pi := range pairs {
+			p := &pairs[pi]
+			if rNode == p.a || rNode == p.b {
+				continue
+			}
+			if v := via(p, bestRi, rNode); v < p.cur {
+				p.cur = v
+			}
+		}
+		res.Relays = append(res.Relays, Relay{Node: rNode, GainMs: bestGain, PairsImproved: bestImproved})
+	}
+	var after float64
+	for pi := range pairs {
+		after += pairs[pi].cur
+	}
+	res.MeanAfterMs = after / float64(len(pairs))
+	return res
+}

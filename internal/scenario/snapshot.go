@@ -4,9 +4,11 @@ import (
 	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"intertubes/internal/fiber"
 	"intertubes/internal/graph"
+	"intertubes/internal/latency"
 	"intertubes/internal/mapbuilder"
 	"intertubes/internal/mitigate"
 	"intertubes/internal/resilience"
@@ -54,6 +56,16 @@ type snapshot struct {
 	// per-pair baseline flows.
 	capOnce sync.Once
 	capBase capacityBaseline
+
+	// All-pairs latency atlas (atlas.go), built lazily behind an
+	// atomic pointer — the CSR-topology idiom: a hit is one load, a
+	// miss takes the mutex, double-checks, builds once. litComp holds
+	// the union-find components of the lit-conduit graph that the
+	// overlay row-reuse rule consults.
+	atlasMu  sync.Mutex
+	atlasPtr atomic.Pointer[latency.Atlas]
+	litOnce  sync.Once
+	litComp  []int32
 
 	latMu   sync.Mutex
 	latBase map[int]mitigate.LatencySummary // by MaxPairs

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// latency_test.go exercises the paginated atlas endpoint: page
+// boundaries, stable source-major ordering across requests, parameter
+// validation, and the baseline-versioned ETag lifecycle including a
+// SwapBaseline staleness flip.
+
+func TestLatencyFirstPage(t *testing.T) {
+	var out latencyPageJSON
+	resp := getJSON(t, "/api/latency", &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Page != 1 || out.Per != latencyDefaultPer {
+		t.Fatalf("page/per = %d/%d, want 1/%d", out.Page, out.Per, latencyDefaultPer)
+	}
+	if out.TotalPairs == 0 {
+		t.Fatal("empty atlas")
+	}
+	want := out.TotalPairs
+	if want > out.Per {
+		want = out.Per
+	}
+	if len(out.Pairs) != want {
+		t.Fatalf("first page has %d pairs, want %d", len(out.Pairs), want)
+	}
+	if out.TotalPages != (out.TotalPairs+out.Per-1)/out.Per {
+		t.Fatalf("totalPages = %d inconsistent with %d pairs per %d", out.TotalPages, out.TotalPairs, out.Per)
+	}
+	for _, pl := range out.Pairs {
+		if pl.A == "" || pl.B == "" || pl.FiberMs <= 0 || pl.Inflation < 1-1e-9 {
+			t.Fatalf("degenerate pair %+v", pl)
+		}
+	}
+}
+
+func TestLatencyLastAndBeyondLastPage(t *testing.T) {
+	var first latencyPageJSON
+	getJSON(t, "/api/latency?per=7", &first)
+	last := first.TotalPages
+	var out latencyPageJSON
+	getJSON(t, "/api/latency?per=7&page="+itoa(last), &out)
+	wantLast := first.TotalPairs - (last-1)*7
+	if len(out.Pairs) != wantLast {
+		t.Fatalf("last page has %d pairs, want %d", len(out.Pairs), wantLast)
+	}
+	var beyond latencyPageJSON
+	resp := getJSON(t, "/api/latency?per=7&page="+itoa(last+1), &beyond)
+	if resp.StatusCode != 200 || len(beyond.Pairs) != 0 {
+		t.Fatalf("beyond-last page: status %d, %d pairs; want 200 and none", resp.StatusCode, len(beyond.Pairs))
+	}
+	if beyond.TotalPairs != first.TotalPairs {
+		t.Fatalf("beyond-last totals diverge: %d vs %d", beyond.TotalPairs, first.TotalPairs)
+	}
+}
+
+// TestLatencyPagesTile: two small pages concatenated must equal one
+// double-size page — the ordering is stable and pages never overlap.
+func TestLatencyPagesTile(t *testing.T) {
+	var p1, p2, both latencyPageJSON
+	getJSON(t, "/api/latency?per=10&page=1", &p1)
+	getJSON(t, "/api/latency?per=10&page=2", &p2)
+	getJSON(t, "/api/latency?per=20&page=1", &both)
+	got := append(append([]latencyPairJSON{}, p1.Pairs...), p2.Pairs...)
+	if !reflect.DeepEqual(got, both.Pairs) {
+		t.Fatal("pages do not tile the per=20 page")
+	}
+}
+
+func TestLatencyBadParams(t *testing.T) {
+	for _, path := range []string{
+		"/api/latency?page=0",
+		"/api/latency?page=-3",
+		"/api/latency?page=abc",
+		"/api/latency?per=0",
+		"/api/latency?per=1001",
+		"/api/latency?per=x",
+	} {
+		resp, _ := get(t, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestLatencyETagLifecycle(t *testing.T) {
+	resp, _ := get(t, "/api/latency")
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on latency response")
+	}
+
+	req, err := http.NewRequest("GET", srv(t).URL+"/api/latency", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotModified {
+		t.Fatalf("matching If-None-Match: status %d, want 304", r2.StatusCode)
+	}
+
+	// A baseline swap (same inputs, new snapshot) must stale the tag:
+	// the old value now misses and the response carries a fresh one.
+	st := study(t)
+	st.Scenarios().Engine().SwapBaseline(st.Result(), st.RiskMatrix())
+	r3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match after swap: status %d, want 200", r3.StatusCode)
+	}
+	fresh := r3.Header.Get("ETag")
+	if fresh == "" || fresh == etag {
+		t.Fatalf("ETag after swap = %q, want a new tag (old %q)", fresh, etag)
+	}
+}
+
+// TestLatencyVersionMatchesEngine: the payload's baselineVersion is
+// the engine's current version — the same number the ETag carries.
+func TestLatencyVersionMatchesEngine(t *testing.T) {
+	var out latencyPageJSON
+	resp := getJSON(t, "/api/latency?per=1", &out)
+	want := "\"latency-v" + strconv.FormatUint(out.BaselineVersion, 10) + "\""
+	if got := resp.Header.Get("ETag"); got != want {
+		t.Fatalf("ETag = %q, want %q", got, want)
+	}
+}

@@ -18,6 +18,7 @@
 //	GET /api/risk/sharing           Figure 6 counts
 //	GET /api/risk/ranking           Figure 7 rows
 //	GET /api/figures/{name}         rendered artifact (text/plain)
+//	GET /api/latency?page=N&per=M   paginated all-pairs latency atlas (ETag per baseline)
 //	GET /api/annotated?limit=N      annotated map (traffic + delay per conduit)
 //	GET /api/resilience             partition costs + conduit criticality
 //	POST /api/scenario              evaluate a what-if scenario (JSON deltas)
@@ -275,6 +276,7 @@ func (s *Server) registerRoutes() {
 	s.handle("GET /api/risk/sharing", s.handleSharing)
 	s.handle("GET /api/risk/ranking", s.handleRanking)
 	s.handle("GET /api/figures/{name}", s.handleFigure)
+	s.handle("GET /api/latency", s.handleLatency)
 	s.handle("GET /api/annotated", s.handleAnnotated)
 	s.handle("GET /api/resilience", s.handleResilience)
 	s.handle("GET /api/traces", s.handleTraces)
@@ -565,21 +567,23 @@ func (s *Server) handleRanking(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) figureRenderers() map[string]func() string {
 	st := s.study
 	return map[string]func() string{
-		"table1":   st.RenderTable1,
-		"step3":    st.RenderStep3,
-		"figure1":  st.RenderFigure1,
-		"figure4":  st.RenderFigure4,
-		"figure6":  st.RenderFigure6,
-		"figure7":  st.RenderFigure7,
-		"figure8":  st.RenderFigure8,
-		"figure9":  st.RenderFigure9,
-		"table2":   st.RenderTable2,
-		"table3":   st.RenderTable3,
-		"table4":   st.RenderTable4,
-		"figure10": st.RenderFigure10,
-		"table5":   st.RenderTable5,
-		"figure11": st.RenderFigure11,
-		"figure12": st.RenderFigure12,
+		"table1":            st.RenderTable1,
+		"step3":             st.RenderStep3,
+		"figure1":           st.RenderFigure1,
+		"figure4":           st.RenderFigure4,
+		"figure6":           st.RenderFigure6,
+		"figure7":           st.RenderFigure7,
+		"figure8":           st.RenderFigure8,
+		"figure9":           st.RenderFigure9,
+		"table2":            st.RenderTable2,
+		"table3":            st.RenderTable3,
+		"table4":            st.RenderTable4,
+		"figure10":          st.RenderFigure10,
+		"table5":            st.RenderTable5,
+		"figure11":          st.RenderFigure11,
+		"figure12":          st.RenderFigure12,
+		"latency-inflation": st.RenderInflationCDF,
+		"relay-plan":        func() string { return st.RenderRelayPlan(3) },
 	}
 }
 

@@ -1,0 +1,60 @@
+package intertubes
+
+import (
+	"strings"
+	"testing"
+
+	"intertubes/internal/latency"
+)
+
+// TestRenderInflationCDFGuard pins renderInflationCDF against
+// degenerate pair sets: an empty atlas (a fully dark map) must render
+// a clean notice, and a populated one must never leak NaN quantiles.
+func TestRenderInflationCDFGuard(t *testing.T) {
+	cases := []struct {
+		name   string
+		pairs  []latency.PairLatency
+		want   []string
+		forbid []string
+	}{
+		{
+			name:   "empty pair set",
+			pairs:  nil,
+			want:   []string{"Latency inflation", "no connected city pairs"},
+			forbid: []string{"NaN"},
+		},
+		{
+			name: "single pair",
+			pairs: []latency.PairLatency{
+				{A: 0, B: 1, FiberMs: 5, GeoMs: 4, Inflation: 1.25},
+			},
+			want:   []string{"fiber path (ms)", "c-latency (ms)", "inflation (x)", "pairs: 1", "median inflation 1.25x"},
+			forbid: []string{"NaN"},
+		},
+		{
+			name: "several pairs",
+			pairs: []latency.PairLatency{
+				{A: 0, B: 1, FiberMs: 5, GeoMs: 4, Inflation: 1.25},
+				{A: 0, B: 2, FiberMs: 9, GeoMs: 3, Inflation: 3},
+				{A: 1, B: 2, FiberMs: 4, GeoMs: 4, Inflation: 1},
+			},
+			want:   []string{"pairs: 3"},
+			forbid: []string{"NaN"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := renderInflationCDF(tc.pairs)
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+			for _, f := range tc.forbid {
+				if strings.Contains(out, f) {
+					t.Errorf("output contains forbidden %q:\n%s", f, out)
+				}
+			}
+		})
+	}
+}

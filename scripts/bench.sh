@@ -8,12 +8,30 @@
 #   BENCHTIME=1x scripts/bench.sh    # quick smoke pass
 #   OUT=custom.json scripts/bench.sh
 #
+#   scripts/bench.sh compare 'LatencyAtlas|MaxFlow'
+#       # regression gate: rerun the named benchmarks and fail when
+#       # any regresses more than TOLERANCE (default 0.25, i.e. 25%)
+#       # in ns/op against the checked-in BENCH_obs.json. Writes a
+#       # throwaway summary, never the baseline itself.
+#
 # The graph-kernel micro-benchmarks (DijkstraSweep, KShortestPaths,
 # EdgeBetweenness) ride along with the figure benchmarks; `make
 # bench-smoke` runs just those for one iteration as a CI check.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "compare" ]; then
+	BENCH="${2:?usage: scripts/bench.sh compare 'BenchName|OtherBench'}"
+	BENCHTIME="${BENCHTIME:-1s}"
+	BASELINE="${BASELINE:-BENCH_obs.json}"
+	TOLERANCE="${TOLERANCE:-0.25}"
+	OUT="$(mktemp -t bench_compare.XXXXXX.json)"
+	trap 'rm -f "$OUT"' EXIT
+	go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem -json ./... |
+		go run ./cmd/benchjson -o "$OUT" -baseline "$BASELINE" -tolerance "$TOLERANCE"
+	exit $?
+fi
 
 BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-1s}"
